@@ -1,0 +1,74 @@
+"""REM2.1 — decision-procedure scaling (decidability of the NKA theory).
+
+The paper's Remark 2.1 states the equational theory is decidable
+(Bloom–Ésik) and PSPACE-hard.  This bench measures our implementation's
+scaling in expression size and alphabet size, on (a) derivable identities
+built by nesting Figure-2 laws and (b) random expression pairs.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.decision import nka_equal, nka_equal_detailed
+from repro.core.expr import Expr, ONE, Product, Star, Sum, Symbol, ZERO, expr_size
+
+
+def _nested_sliding(depth: int) -> tuple[Expr, Expr]:
+    """Derivable pair of size Θ(depth) via iterated sliding."""
+    a, b = Symbol("a"), Symbol("b")
+    left: Expr = Star(Product(a, b))
+    right: Expr = Star(Product(a, b))
+    for _ in range(depth):
+        left = Product(Star(Product(a, left)), a)
+        right = Product(a, Star(Product(right, a)))
+    return left, right
+
+
+def _random_expr(rng: random.Random, letters: list, depth: int) -> Expr:
+    if depth == 0 or rng.random() < 0.3:
+        return rng.choice([ZERO, ONE] + [Symbol(l) for l in letters])
+    choice = rng.random()
+    if choice < 0.4:
+        return Sum(_random_expr(rng, letters, depth - 1),
+                   _random_expr(rng, letters, depth - 1))
+    if choice < 0.8:
+        return Product(_random_expr(rng, letters, depth - 1),
+                       _random_expr(rng, letters, depth - 1))
+    return Star(_random_expr(rng, letters, depth - 1))
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4, 8])
+def test_decision_scaling_derivable(benchmark, depth):
+    left, right = _nested_sliding(depth)
+    result = benchmark(nka_equal, left, right)
+    assert result
+    report(f"REM2.1/derivable-d{depth}",
+           "equational theory decidable (Remark 2.1)",
+           f"expr size {expr_size(left)} decided")
+
+
+@pytest.mark.parametrize("letters", [2, 3, 4])
+def test_decision_scaling_alphabet(benchmark, letters):
+    rng = random.Random(letters)
+    alphabet = [chr(ord("a") + i) for i in range(letters)]
+    pairs = [
+        (_random_expr(rng, alphabet, 4), _random_expr(rng, alphabet, 4))
+        for _ in range(10)
+    ]
+
+    def run():
+        return [nka_equal_detailed(l, r) for l, r in pairs]
+
+    results = benchmark(run)
+    # Every refutation must carry a genuine witness.
+    from repro.core.decision import coefficient
+
+    for (l, r), outcome in zip(pairs, results):
+        if not outcome.equal:
+            w = list(outcome.counterexample)
+            assert coefficient(l, w) != coefficient(r, w)
+    report(f"REM2.1/alphabet-{letters}",
+           "decidable with counterexample extraction",
+           f"10 random pairs decided over {letters} letters")

@@ -1,0 +1,85 @@
+"""FIG3 — soundness of the NKA axioms in both semantic models (Thm. 3.6).
+
+Regenerates the content of Figure 3: each axiom group is checked (i) in the
+rational-series model via the decision procedure and (ii) in the quantum
+path model on randomly sampled lifted superoperators of dimensions 2–4.
+The paper's claim is Theorem 3.6 (all axioms sound); we measure the check
+cost per dimension.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.axioms import SEMIRING_LAWS
+from repro.core.decision import nka_equal
+from repro.pathmodel.lifting import lift
+from repro.pathmodel.soundness import (
+    check_order_axioms,
+    check_semiring_axioms,
+    check_star_axioms,
+)
+from repro.quantum.measurement import binary_projective
+from repro.quantum.operators import random_unitary
+from repro.quantum.superoperator import Superoperator
+
+
+def _sample_actions(dim: int, seed: int):
+    rng = np.random.default_rng(seed)
+    projector = np.zeros((dim, dim), dtype=complex)
+    projector[dim - 1, dim - 1] = 1.0
+    m = binary_projective(projector)
+    return (
+        lift(m.branch(0)),
+        lift(m.branch(1).then(Superoperator.unitary(random_unitary(dim, rng)))),
+        lift(Superoperator([random_unitary(dim, rng) * 0.7])),
+    )
+
+
+def test_fig3_series_model(benchmark):
+    def run():
+        return all(nka_equal(law.lhs, law.rhs) for law in SEMIRING_LAWS)
+
+    assert benchmark(run)
+    report("FIG3/series", "semiring axioms hold in N̄-series model",
+           f"{len(SEMIRING_LAWS)} equations confirmed exactly")
+
+
+@pytest.mark.parametrize("dim", [2, 3, 4])
+def test_fig3_path_model_semiring(benchmark, dim):
+    p, q, r = _sample_actions(dim, seed=dim)
+
+    def run():
+        return check_semiring_axioms(p, q, r)
+
+    results = benchmark(run)
+    assert all(results.values()), results
+    report(f"FIG3/path-semiring-d{dim}",
+           "Theorem 3.6: semiring axioms sound for P(H)",
+           f"all {len(results)} checks pass at dim {dim}")
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+def test_fig3_path_model_star(benchmark, dim):
+    p, q, r = _sample_actions(dim, seed=10 + dim)
+
+    def run():
+        return check_star_axioms(p, q, r)
+
+    results = benchmark(run)
+    assert all(results.values()), results
+    report(f"FIG3/path-star-d{dim}",
+           "Theorem 3.6: star laws sound for P(H)",
+           f"all {len(results)} checks pass at dim {dim}")
+
+
+def test_fig3_path_model_order(benchmark):
+    p, q, r = _sample_actions(2, seed=99)
+
+    def run():
+        return check_order_axioms(p, q, r, q)
+
+    results = benchmark(run)
+    assert all(results.values()), results
+    report("FIG3/path-order", "order axioms sound for P(H)",
+           f"all {len(results)} checks pass")

@@ -1,0 +1,62 @@
+"""THM4.5 — the encoding/interpretation commuting square.
+
+Regenerates the guarantee behind the Main Theorem 1.1 pipeline:
+``Qint(Enc(P)) = ⟨⟦P⟧⟩↑`` checked across a family of program shapes and
+dimensions.  The paper proves this by induction; we measure the cost of the
+model-level verification.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.programs.interpretation import check_encoding_theorem
+from repro.programs.syntax import (
+    Abort,
+    Init,
+    Skip,
+    Unitary,
+    While,
+    if_then_else,
+    seq,
+)
+from repro.quantum.gates import H, X
+from repro.quantum.hilbert import Space, qubit
+from repro.quantum.measurement import binary_projective
+
+
+def _m():
+    return binary_projective(np.diag([0.0, 1.0]).astype(complex))
+
+
+def _programs():
+    return {
+        "elementary": seq(Init(("q",)), Unitary(["q"], H, label="h")),
+        "branching": if_then_else(_m(), ("q",), Unitary(["q"], X, label="x"), Skip()),
+        "loop": While(_m(), ("q",), Unitary(["q"], H, label="h")),
+        "diverging-loop": While(_m(), ("q",), Skip()),
+        "aborting": seq(Unitary(["q"], H, label="h"), Abort()),
+    }
+
+
+@pytest.mark.parametrize("shape", list(_programs()))
+def test_thm45_commuting_square(benchmark, shape):
+    program = _programs()[shape]
+    space = Space([qubit("q")])
+    result = benchmark(check_encoding_theorem, program, space)
+    assert result
+    report(f"THM4.5/{shape}", "Qint(Enc(P)) = ⟨⟦P⟧⟩↑",
+           "verified on PSD probe family")
+
+
+def test_thm45_two_registers(benchmark):
+    space = Space([qubit("q"), qubit("w")])
+    program = seq(
+        Init(("q",)),
+        Unitary(["w"], H, label="hw"),
+        While(_m(), ("w",), Unitary(["q"], X, label="xq")),
+    )
+    result = benchmark(check_encoding_theorem, program, space)
+    assert result
+    report("THM4.5/two-registers", "commuting square at dim 4",
+           "verified on PSD probe family")

@@ -1,0 +1,20 @@
+"""Shared reporting helpers for the paper-reproduction benchmarks.
+
+Each bench prints a "paper vs. measured" block so the EXPERIMENTS.md table
+can be regenerated from ``pytest benchmarks/ --benchmark-only`` output.
+"""
+
+from __future__ import annotations
+
+_REPORTED = set()
+
+
+def report(experiment: str, paper_claim: str, measured: str) -> None:
+    """Print one paper-vs-measured row (once per experiment per session)."""
+    key = (experiment, measured)
+    if key in _REPORTED:
+        return
+    _REPORTED.add(key)
+    print(f"\n[{experiment}]")
+    print(f"  paper:    {paper_claim}")
+    print(f"  measured: {measured}")

@@ -1,0 +1,66 @@
+"""Section 5 + Appendix B: validating quantum compiler optimizing rules.
+
+Run: ``python examples/compiler_optimization.py``
+
+Reproduces the paper's three optimization case studies end to end:
+
+* **loop unrolling** (Fig. 4 left, formula 5.1.1) — body executed twice per
+  iteration under a projective guard;
+* **loop boundary** (Fig. 4 right, formula 5.2.1) — hoisting a commuting
+  unitary conjugation out of a loop;
+* **quantum signal processing** (Fig. 6) — removing the S/S⁻¹ reflection
+  pair from the QSP iterate, with gate-count accounting.
+
+For each rule the script prints the machine-checked derivation transcript,
+the semantically-validated hypotheses, and the final Theorem 1.1 verdict.
+"""
+
+from repro.applications.optimization import (
+    default_boundary_instance,
+    default_unrolling_instance,
+    verify_rule,
+)
+from repro.applications.qsp import (
+    default_qsp_instance,
+    loop_body_gate_counts,
+    verify_qsp,
+)
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main() -> None:
+    banner("Loop unrolling (Section 5.1, formula 5.1.1)")
+    rule = default_unrolling_instance()
+    print("Programs (encodings):")
+    print(f"  Unrolling2 → {rule.proof.conclusion.lhs}")
+    print(f"  Unrolling1 → {rule.proof.conclusion.rhs}")
+    print()
+    print(rule.proof.transcript())
+    report = verify_rule(rule)
+    print(f"\nTheorem 1.1 verdict: {report.equal}  ({report.detail})")
+
+    banner("Loop boundary (Section 5.2, formula 5.2.1)")
+    rule = default_boundary_instance()
+    print(rule.proof.transcript())
+    report = verify_rule(rule)
+    print(f"\nTheorem 1.1 verdict: {report.equal}  ({report.detail})")
+
+    banner("Quantum signal processing (Appendix B, Figure 6)")
+    instance = default_qsp_instance(num_terms=2, iterations=1)
+    report = verify_qsp(instance)
+    print(f"Theorem 1.1 verdict: {report.equal}  ({report.detail})")
+    counts = loop_body_gate_counts(default_qsp_instance(num_terms=2, iterations=8))
+    print("\nGate-count accounting (n = 8 iterations):")
+    print(f"  loop-body unitaries before: {counts['body_before']}")
+    print(f"  loop-body unitaries after:  {counts['body_after']}")
+    print(f"  saved per iteration:        {counts['saved_per_iteration']}")
+    print(f"  saved total:                {counts['saved_total']}")
+    print("\n(The paper: removing S and S⁻¹ 'could largely reduce the total "
+          "gate count'.)")
+
+
+if __name__ == "__main__":
+    main()

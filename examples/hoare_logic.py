@@ -1,0 +1,80 @@
+"""Section 7: quantum predicates, NKAT, and propositional quantum Hoare logic.
+
+Run: ``python examples/hoare_logic.py``
+
+Demonstrates the Section 7 stack on a repeat-until-success workload:
+
+1. effects (quantum predicates) and their effect-algebra structure;
+2. partitions — the NKAT abstraction of measurements;
+3. the six propositional QHL rules derived inside NKAT (Theorem 7.8);
+4. semantic Hoare triples with weakest liberal preconditions, applied to a
+   repeat-until-success loop that prepares |0⟩ with certainty.
+"""
+
+import numpy as np
+
+from repro.nkat.effects import Effect, check_effect_algebra_laws
+from repro.nkat.hoare import hoare_partial_valid, wlp
+from repro.nkat.partitions import check_partition_laws, partition_of_measurement
+from repro.nkat.phl import derive_all_rules
+from repro.programs.syntax import Init, Unitary, While, seq
+from repro.quantum.gates import H
+from repro.quantum.hilbert import Space, qubit
+from repro.quantum.measurement import binary_projective
+from repro.quantum.states import ket, plus
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main() -> None:
+    banner("1. Effects: quantum predicates with a partial sum (Def. 7.1)")
+    effects = [
+        Effect.zero(2),
+        Effect.top(2),
+        Effect.projector_onto(ket(0, 2)),
+        Effect.projector_onto(plus()),
+        Effect(np.diag([0.25, 0.75]).astype(complex)),
+    ]
+    laws = check_effect_algebra_laws(effects)
+    for name, holds in laws.items():
+        print(f"  {name:18} {holds}")
+
+    banner("2. Partitions: measurements as effect transformers (Def. 7.4)")
+    measurement = binary_projective(np.diag([0.0, 1.0]).astype(complex))
+    partition = partition_of_measurement(measurement)
+    results = check_partition_laws(partition, effects)
+    for name, holds in results.items():
+        print(f"  {name:20} {holds}")
+    print(f"  projective: {partition.is_projective()}")
+
+    banner("3. Theorem 7.8: propositional QHL derived inside NKAT")
+    for name, proof in derive_all_rules().items():
+        print(f"\n--- {name} ---")
+        print(proof.transcript())
+
+    banner("4. Semantic Hoare triples on a repeat-until-success loop")
+    space = Space([qubit("q")])
+    # Loop: while the qubit measures 1, re-randomise with H — a coin-flip
+    # loop that terminates almost surely in |0⟩.
+    rus = While(measurement, ("q",), Unitary(["q"], H, label="h"),
+                loop_outcome=1, exit_outcome=0, label="m")
+    program = seq(Init(("q",)), rus)
+    post = Effect.projector_onto(ket(0, 2))
+    precondition = wlp(program, post, space)
+    print("  program: initialise, then repeat-until-success on outcome 0")
+    print(f"  postcondition: reach |0⟩")
+    print(f"  wlp(P, |0⟩⟨0|) = I ?  {precondition.equals(Effect.top(2))}")
+    print(f"  {{I}} P {{|0⟩⟨0|}} partially correct: "
+          f"{hoare_partial_valid(Effect.top(2), program, post, space)}")
+
+    # A deliberately false triple for contrast.
+    wrong_post = Effect.projector_onto(ket(1, 2))
+    print(f"  {{I}} P {{|1⟩⟨1|}} partially correct: "
+          f"{hoare_partial_valid(Effect.top(2), program, wrong_post, space)}"
+          "   (should be False)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Appendix A: the rational-power-series model of NKA, hands on.
+
+Run: ``python examples/power_series_playground.py``
+
+Shows *why* NKA drops idempotency: its free model counts — coefficients are
+multiplicities in ``N̄ = N ∪ {∞}``, not booleans.  The script inspects
+truncated series tables, watches ``∞`` appear from unguarded stars, and
+uses the weighted-automata decision procedure to separate expressions that
+classical KA would identify.
+"""
+
+from repro.core.decision import nka_equal_detailed
+from repro.core.parser import parse
+from repro.series.rational import RationalSeries
+
+
+def table(text: str, max_length: int = 3) -> None:
+    series = RationalSeries(parse(text))
+    print(f"  {{{{{text}}}}} up to length {max_length}:")
+    print(f"    {series.truncate(max_length)}")
+
+
+def main() -> None:
+    print("=== Coefficients are multiplicities ===")
+    table("a + a")
+    table("(a + a)*")
+    table("a* a*")
+    table("(a b)* a")
+    table("a (b a)*")
+
+    print("\n=== Infinity from unguarded iteration ===")
+    table("1*", 1)
+    table("(1 + a)*", 2)
+    table("1* a", 1)
+
+    print("\n=== The decision procedure at work ===")
+    for left, right in [
+        ("(a b)* a", "a (b a)*"),
+        ("a* a*", "a*"),
+        ("(a + b)*", "(a* b)* a*"),
+        ("1* (a + b)", "1* a + 1* b"),
+        ("1* a", "1* b"),
+    ]:
+        outcome = nka_equal_detailed(parse(left), parse(right))
+        verdict = "EQUAL" if outcome.equal else "DIFFERENT"
+        extra = ""
+        if not outcome.equal:
+            word = " ".join(outcome.counterexample) or "ε"
+            extra = f"  (witness: {word})"
+        print(f"  {left:16} vs {right:16} → {verdict}{extra}")
+        print(f"      [{outcome.reason}]")
+
+
+if __name__ == "__main__":
+    main()

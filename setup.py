@@ -1,0 +1,21 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only enables
+legacy ``pip install -e .`` (PEP 660 editable installs need ``bdist_wheel``,
+which is unavailable offline here).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Algebraic reasoning of quantum programs via non-idempotent "
+        "Kleene algebra (PLDI 2022 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+)

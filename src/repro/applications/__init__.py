@@ -1,0 +1,59 @@
+"""Paper applications: compiler optimization (S5), normal form (S6), QSP (App. B)."""
+
+from repro.applications.normal_form import (
+    NormalFormResult,
+    normal_form_program,
+    normalize,
+    prove_section6_example,
+    section6_example_programs,
+    section6_hypotheses,
+    section6_space,
+    verify_normal_form,
+)
+from repro.applications.optimization import (
+    OptimizationRule,
+    boundary_programs,
+    default_boundary_instance,
+    default_unrolling_instance,
+    loop_boundary_rule,
+    loop_unrolling_rule,
+    prove_loop_boundary,
+    prove_loop_unrolling,
+    unrolling_programs,
+    verify_rule,
+)
+from repro.applications.qsp import (
+    QSPInstance,
+    build_qsp_programs,
+    default_qsp_instance,
+    loop_body_gate_counts,
+    prove_qsp_optimization,
+    verify_qsp,
+)
+
+__all__ = [
+    "OptimizationRule",
+    "unrolling_programs",
+    "boundary_programs",
+    "prove_loop_unrolling",
+    "prove_loop_boundary",
+    "loop_unrolling_rule",
+    "loop_boundary_rule",
+    "default_unrolling_instance",
+    "default_boundary_instance",
+    "verify_rule",
+    "QSPInstance",
+    "build_qsp_programs",
+    "default_qsp_instance",
+    "prove_qsp_optimization",
+    "verify_qsp",
+    "loop_body_gate_counts",
+    "NormalFormResult",
+    "normalize",
+    "normal_form_program",
+    "verify_normal_form",
+    "section6_example_programs",
+    "section6_space",
+    "section6_hypotheses",
+    "prove_section6_example",
+]

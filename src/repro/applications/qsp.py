@@ -1,0 +1,397 @@
+"""Optimizing Quantum Signal Processing (paper Appendix B).
+
+QSP simulates a Hamiltonian ``H = Σ_l α_l H_l``.  The paper's Figure 6
+programs ``qsp`` and ``qsp'`` differ in that the loop body of ``qsp``
+conjugates the controlled-walk step with the partial reflection
+``S = (1−i)|G⟩⟨G| − I`` and its inverse, while ``qsp'`` omits both — the
+optimisation observed by Childs et al. that this module verifies both
+algebraically (replaying the Appendix B derivation) and semantically.
+
+Registers (``QSPInstance``): counter ``c`` (dimension ``n+1``), phase qubit
+``p``, term selector ``r`` (dimension ``L``), system ``q``.  Components:
+
+* ``|G⟩ = Σ_l √(α_l/‖α‖₁) |l⟩`` on ``r``;
+* ``Φ = Σ_j |j⟩⟨j| ⊗ e^{−iφ_j σZ/2}`` on ``(c, p)``;
+* ``S = (1−i)|G⟩⟨G| − I`` on ``r`` (a unitary partial reflection);
+* ``W = −i((2|G⟩⟨G| − I) ⊗ I)·Σ_l |l⟩⟨l| ⊗ H_l``, controlled on ``|−⟩`` of
+  ``p`` to give ``C_W = |+⟩⟨+| ⊗ I + |−⟩⟨−| ⊗ W`` on ``(p, r, q)``;
+* ``Dec: |j⟩ ↦ |(j−1) mod (n+1)⟩`` on ``c``.
+
+Loop labelling follows the paper's *encoding*: the loop branch symbol is
+``m1`` and the exit branch ``m0``, with the loop continuing while the
+counter has not reached ``|0⟩`` (so the body executes ``n`` times after
+``c := |n⟩``; the projector assignment makes the figure's program
+terminate, matching the encoding ``(m1 …)* m0``).
+
+Hypotheses (Appendix B "Condition Formulation", plus the elementary
+commutations they abbreviate): ``s``/``s⁻¹`` commute with ``φ``, ``φ⁻¹``,
+``d``, ``m0``, ``m1`` (disjoint registers); ``s s⁻¹ = s⁻¹ s = 1``;
+``r0 s = r0`` (since ``S|G⟩⟨G|S† = |G⟩⟨G|``); ``s⁻¹ τ1 = τ1`` (the Kraus
+phase cancellation ``M₁(I ⊗ S†) = i·M₁``).  All are validated
+semantically before the derivation counts (Corollary 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.axioms import DISTRIB_LEFT, DISTRIB_RIGHT
+from repro.core.expr import Expr, ONE, Symbol
+from repro.core.hypotheses import HypothesisSet, commuting, inverse_pair
+from repro.core.proof import CheckedProof, Equation, Proof
+from repro.core.theorems import FIXED_POINT_LEFT, PRODUCT_STAR
+from repro.programs.encoder import EncoderSetting, encode
+from repro.programs.equivalence import EquivalenceReport, verify_with_proof
+from repro.programs.syntax import (
+    Abort,
+    Assign,
+    Program,
+    Skip,
+    StatePrep,
+    Unitary,
+    While,
+    if_then_else,
+    seq,
+)
+from repro.quantum.hilbert import Register, Space, qubit, qudit
+from repro.quantum.measurement import Measurement, binary_projective
+from repro.quantum.states import ket, plus, uniform_superposition
+
+__all__ = ["QSPInstance", "build_qsp_programs", "prove_qsp_optimization", "verify_qsp", "loop_body_gate_counts"]
+
+
+@dataclass
+class QSPInstance:
+    """A concrete QSP problem: Hamiltonian terms, weights, phase angles."""
+
+    hamiltonian_terms: Sequence[np.ndarray]
+    alphas: Sequence[float]
+    phases: Sequence[float]
+
+    def __post_init__(self):
+        if len(self.hamiltonian_terms) != len(self.alphas):
+            raise ValueError("one weight per Hamiltonian term required")
+        if not self.phases:
+            raise ValueError("at least one phase angle (one iteration) required")
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.hamiltonian_terms)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.phases)
+
+    @property
+    def system_dim(self) -> int:
+        return self.hamiltonian_terms[0].shape[0]
+
+    def space(self) -> Space:
+        return Space(
+            [
+                qudit("c", self.iterations + 1),
+                qubit("p"),
+                qudit("r", self.num_terms),
+                qudit("q", self.system_dim),
+            ]
+        )
+
+    # -- component matrices -----------------------------------------------------
+
+    def g_state(self) -> np.ndarray:
+        return uniform_superposition(self.num_terms, list(self.alphas))
+
+    def phi_matrix(self) -> np.ndarray:
+        """``Φ = Σ_j |j⟩⟨j| ⊗ e^{−iφ_j σZ/2}`` on ``(c, p)``."""
+        c_dim = self.iterations + 1
+        blocks = np.zeros((2 * c_dim, 2 * c_dim), dtype=complex)
+        for j in range(c_dim):
+            angle = self.phases[j - 1] if 1 <= j <= len(self.phases) else 0.0
+            rotation = np.array(
+                [[np.exp(-1j * angle / 2), 0], [0, np.exp(1j * angle / 2)]],
+                dtype=complex,
+            )
+            blocks[2 * j : 2 * j + 2, 2 * j : 2 * j + 2] = rotation
+        return blocks
+
+    def s_matrix(self) -> np.ndarray:
+        """``S = (1−i)|G⟩⟨G| − I`` — the partial reflection about ``|G⟩``."""
+        g = self.g_state()
+        return (1 - 1j) * np.outer(g, g.conj()) - np.eye(self.num_terms, dtype=complex)
+
+    def walk_matrix(self) -> np.ndarray:
+        """``W = −i((2|G⟩⟨G| − I) ⊗ I) Σ_l |l⟩⟨l| ⊗ H_l`` on ``(r, q)``."""
+        g = self.g_state()
+        reflection = 2 * np.outer(g, g.conj()) - np.eye(self.num_terms, dtype=complex)
+        select = np.zeros(
+            (self.num_terms * self.system_dim, self.num_terms * self.system_dim),
+            dtype=complex,
+        )
+        for l, term in enumerate(self.hamiltonian_terms):
+            projector = np.zeros((self.num_terms, self.num_terms), dtype=complex)
+            projector[l, l] = 1.0
+            select += np.kron(projector, np.asarray(term, dtype=complex))
+        return -1j * np.kron(reflection, np.eye(self.system_dim)) @ select
+
+    def controlled_walk(self) -> np.ndarray:
+        """``C_W = |+⟩⟨+| ⊗ I + |−⟩⟨−| ⊗ W`` on ``(p, r, q)``."""
+        w = self.walk_matrix()
+        dim = w.shape[0]
+        plus_vec = plus()
+        minus_vec = np.array([1, -1], dtype=complex) / np.sqrt(2)
+        plus_proj = np.outer(plus_vec, plus_vec.conj())
+        minus_proj = np.outer(minus_vec, minus_vec.conj())
+        return np.kron(plus_proj, np.eye(dim, dtype=complex)) + np.kron(minus_proj, w)
+
+    def dec_matrix(self) -> np.ndarray:
+        """``Dec: |j⟩ ↦ |(j−1) mod (n+1)⟩`` on ``c``."""
+        c_dim = self.iterations + 1
+        matrix = np.zeros((c_dim, c_dim), dtype=complex)
+        for j in range(c_dim):
+            matrix[(j - 1) % c_dim, j] = 1.0
+        return matrix
+
+    def counter_measurement(self) -> Measurement:
+        """Loop measurement on ``c``: outcome 1 loops (c ≠ 0), 0 exits."""
+        c_dim = self.iterations + 1
+        zero_proj = np.zeros((c_dim, c_dim), dtype=complex)
+        zero_proj[0, 0] = 1.0
+        return Measurement({0: zero_proj, 1: np.eye(c_dim, dtype=complex) - zero_proj})
+
+    def final_measurement(self) -> Measurement:
+        """``M_{|+⟩|G⟩}`` on ``(p, r)``: outcome 1 = success projector."""
+        g = self.g_state()
+        plus_vec = plus()
+        target = np.kron(plus_vec, g)
+        projector = np.outer(target, target.conj())
+        dim = projector.shape[0]
+        return Measurement({1: projector, 0: np.eye(dim, dtype=complex) - projector})
+
+
+def build_qsp_programs(instance: QSPInstance) -> Tuple[Program, Program]:
+    """The Figure 6 pair ``(qsp, qsp')`` as concrete programs."""
+    n = instance.iterations
+    phi = Unitary(["c", "p"], instance.phi_matrix(), label="phi")
+    phi_inv = Unitary(["c", "p"], instance.phi_matrix().conj().T, label="phi_inv")
+    s = Unitary(["r"], instance.s_matrix(), label="s")
+    s_inv = Unitary(["r"], instance.s_matrix().conj().T, label="s_inv")
+    walk = Unitary(["p", "r", "q"], instance.controlled_walk(), label="w")
+    dec = Unitary(["c"], instance.dec_matrix(), label="d")
+    counter = instance.counter_measurement()
+    final = instance.final_measurement()
+
+    setup = seq(
+        Assign("c", n, label="c0"),
+        StatePrep("p", plus(), label="p0"),
+        StatePrep("r", instance.g_state(), label="r0"),
+    )
+    closing = if_then_else(
+        final, ("p", "r"), Skip(), Abort(),
+        then_outcome=1, else_outcome=0, label="tau",
+    )
+    body_full = seq(phi, s, walk, s_inv, phi_inv, dec)
+    body_optimized = seq(phi, walk, phi_inv, dec)
+    qsp = seq(
+        setup,
+        While(counter, ("c",), body_full, loop_outcome=1, exit_outcome=0, label="m"),
+        closing,
+    )
+    qsp_optimized = seq(
+        setup,
+        While(counter, ("c",), body_optimized, loop_outcome=1, exit_outcome=0, label="m"),
+        closing,
+    )
+    return qsp, qsp_optimized
+
+
+def _qsp_symbols(qsp: Program, setting: EncoderSetting) -> Dict[str, Symbol]:
+    """Mint/collect all QSP symbols by encoding the unoptimised program."""
+    encode(qsp, setting)
+    names = ["c0", "p0", "r0", "m0", "m1", "phi", "phi_inv", "s", "s_inv", "w", "d", "tau0", "tau1"]
+    return {name: Symbol(name) for name in names}
+
+
+def qsp_hypotheses(symbols: Dict[str, Symbol]) -> HypothesisSet:
+    """The Appendix B hypothesis set (elementary commutations spelled out)."""
+    s, s_inv = symbols["s"], symbols["s_inv"]
+    hypotheses = HypothesisSet()
+    hypotheses.extend(inverse_pair(s, s_inv))
+    hypotheses.extend(
+        commuting(
+            [s, s_inv],
+            [symbols["phi"], symbols["phi_inv"], symbols["d"], symbols["m0"], symbols["m1"]],
+        )
+    )
+    hypotheses.add(symbols["r0"] * s, symbols["r0"], name="r0s=r0")
+    hypotheses.add(s_inv * symbols["tau1"], symbols["tau1"], name="s_invtau1=tau1")
+    return hypotheses
+
+
+def prove_qsp_optimization(
+    symbols: Dict[str, Symbol], hypotheses: HypothesisSet
+) -> CheckedProof:
+    """Machine-checked replay of the Appendix B derivation.
+
+    ``c0 p0 r0 (m1 φ s w s⁻¹ φ⁻¹ d)* m0 (τ0·0 + τ1·1)
+      = c0 p0 r0 (m1 φ w φ⁻¹ d)* m0 (τ0·0 + τ1·1)``.
+    """
+    c0, p0, r0 = symbols["c0"], symbols["p0"], symbols["r0"]
+    m0, m1 = symbols["m0"], symbols["m1"]
+    phi, phi_inv = symbols["phi"], symbols["phi_inv"]
+    s, s_inv = symbols["s"], symbols["s_inv"]
+    w, d = symbols["w"], symbols["d"]
+    tau0, tau1 = symbols["tau0"], symbols["tau1"]
+    from repro.core.expr import ZERO
+
+    tail: Expr = tau0 * ZERO + tau1 * ONE
+    x: Expr = m1 * phi * w * phi_inv * d  # the optimised loop body
+
+    proof = Proof(
+        c0 * p0 * r0 * (m1 * phi * s * w * s_inv * phi_inv * d).star() * m0 * tail,
+        hypotheses=list(hypotheses),
+        name="QSP optimisation (Appendix B)",
+    )
+    proof.by_structure(
+        c0 * p0 * r0 * (m1 * phi * s * w * s_inv * phi_inv * d).star() * m0 * tau1,
+        note="τ0·0 + τ1·1 = τ1",
+    )
+    # Commute s to the front and s⁻¹ to the back of the loop body.
+    proof.step(
+        c0 * p0 * r0 * (m1 * s * phi * w * s_inv * phi_inv * d).star() * m0 * tau1,
+        by=hypotheses.named("sphi=phis"), direction="rl", note="φ s = s φ",
+    )
+    proof.step(
+        c0 * p0 * r0 * (s * m1 * phi * w * s_inv * phi_inv * d).star() * m0 * tau1,
+        by=hypotheses.named("sm1=m1s"), direction="rl", note="m1 s = s m1",
+    )
+    proof.step(
+        c0 * p0 * r0 * (s * m1 * phi * w * phi_inv * s_inv * d).star() * m0 * tau1,
+        by=hypotheses.named("s_invphi_inv=phi_invs_inv"), note="s⁻¹ φ⁻¹ = φ⁻¹ s⁻¹",
+    )
+    proof.step(
+        c0 * p0 * r0 * (s * x * s_inv).star() * m0 * tau1,
+        by=hypotheses.named("s_invd=ds_inv"), note="s⁻¹ d = d s⁻¹",
+    )
+    # Loop-boundary pattern (5.2.1) specialised to s / s⁻¹.
+    proof.step(
+        c0 * p0 * r0 * (ONE + s * (x * s_inv * s).star() * (x * s_inv)) * m0 * tau1,
+        by=PRODUCT_STAR, direction="rl", subst={"p": s, "q": x * s_inv},
+        note="product-star",
+    )
+    proof.step(
+        c0 * p0 * r0 * (ONE + s * x.star() * (x * s_inv)) * m0 * tau1,
+        by=hypotheses.named("s_invs=1"), note="s⁻¹ s = 1",
+    )
+    prefix: Expr = c0 * p0 * r0
+    proof.step(
+        prefix * (m0 * tau1 + s * x.star() * x * s_inv * m0 * tau1),
+        by=DISTRIB_RIGHT,
+        subst={"p": ONE, "q": s * x.star() * (x * s_inv), "r": m0 * tau1},
+        note="distributive-law",
+    )
+    proof.step(
+        prefix * (m0 * tau1) + prefix * (s * x.star() * x * s_inv * m0 * tau1),
+        by=DISTRIB_LEFT,
+        subst={
+            "p": prefix,
+            "q": m0 * tau1,
+            "r": s * x.star() * x * s_inv * m0 * tau1,
+        },
+        note="distributive-law",
+    )
+    proof.step(
+        prefix * (m0 * tau1) + prefix * (s * x.star() * x * m0 * s_inv * tau1),
+        by=hypotheses.named("s_invm0=m0s_inv"), note="s⁻¹ m0 = m0 s⁻¹",
+    )
+    proof.step(
+        prefix * (m0 * tau1) + prefix * (s * x.star() * x * m0 * tau1),
+        by=hypotheses.named("s_invtau1=tau1"), note="s⁻¹ τ1 = τ1 (phase cancellation)",
+    )
+    proof.step(
+        prefix * (m0 * tau1) + prefix * (x.star() * x * m0 * tau1),
+        by=hypotheses.named("r0s=r0"), note="r0 s = r0 (absorption)",
+    )
+    proof.step(
+        prefix * (m0 * tau1 + x.star() * x * m0 * tau1),
+        by=DISTRIB_LEFT, direction="rl",
+        subst={"p": prefix, "q": m0 * tau1, "r": x.star() * x * m0 * tau1},
+        note="factor c0 p0 r0",
+    )
+    proof.step(
+        prefix * ((ONE + x.star() * x) * (m0 * tau1)),
+        by=DISTRIB_RIGHT, direction="rl",
+        subst={"p": ONE, "q": x.star() * x, "r": m0 * tau1},
+        note="factor m0 τ1",
+    )
+    proof.step(
+        prefix * x.star() * m0 * tau1,
+        by=FIXED_POINT_LEFT, note="fixed-point",
+    )
+    proof.by_structure(
+        c0 * p0 * r0 * x.star() * m0 * tail, note="restore τ0·0 + τ1·1"
+    )
+    return proof.qed(c0 * p0 * r0 * x.star() * m0 * tail)
+
+
+def default_qsp_instance(num_terms: int = 2, iterations: int = 1) -> QSPInstance:
+    """A small concrete instance: Pauli-term Hamiltonian on one qubit."""
+    from repro.quantum.gates import X, Z
+
+    terms = [X, Z, (X @ Z + Z @ X) / 2 + np.eye(2)][:num_terms]
+    while len(terms) < num_terms:
+        terms.append(np.eye(2, dtype=complex))
+    alphas = [1.0 + 0.5 * i for i in range(num_terms)]
+    phases = [0.3 + 0.2 * j for j in range(iterations)]
+    return QSPInstance(terms, alphas, phases)
+
+
+def verify_qsp(instance: Optional[QSPInstance] = None, check_semantics: bool = True) -> EquivalenceReport:
+    """Full Theorem 1.1 verification of the QSP optimisation."""
+    if instance is None:
+        instance = default_qsp_instance()
+    qsp, qsp_optimized = build_qsp_programs(instance)
+    setting = EncoderSetting(instance.space())
+    symbols = _qsp_symbols(qsp, setting)
+    hypotheses = qsp_hypotheses(symbols)
+    proof = prove_qsp_optimization(symbols, hypotheses)
+    return verify_with_proof(
+        proof, qsp, qsp_optimized, setting, check_semantics=check_semantics
+    )
+
+
+def loop_body_gate_counts(instance: Optional[QSPInstance] = None) -> Dict[str, int]:
+    """Unitary counts per loop iteration before/after the optimisation.
+
+    The optimisation removes the ``S``/``S⁻¹`` pair — 2 of the 6 loop-body
+    unitaries, i.e. ``2n`` gates saved over ``n`` iterations.
+    """
+    if instance is None:
+        instance = default_qsp_instance()
+    qsp, qsp_optimized = build_qsp_programs(instance)
+
+    def unitary_count(program) -> int:
+        from repro.programs.syntax import Case, Seq, Unitary, While
+
+        if isinstance(program, Unitary):
+            return 1
+        if isinstance(program, Seq):
+            return unitary_count(program.first) + unitary_count(program.second)
+        if isinstance(program, While):
+            return unitary_count(program.body)
+        if isinstance(program, Case):
+            return sum(unitary_count(b) for b in program.branches.values())
+        return 0
+
+    before = unitary_count(qsp)
+    after = unitary_count(qsp_optimized)
+    n = instance.iterations
+    return {
+        "body_before": before,
+        "body_after": after,
+        "saved_per_iteration": before - after,
+        "saved_total": (before - after) * n,
+        "iterations": n,
+    }

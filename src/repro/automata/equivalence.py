@@ -1,0 +1,157 @@
+"""Exact equivalence of weighted automata over ``N̄``.
+
+This implements the decision procedure promised by the paper's Remark 2.1
+(citing Bloom–Ésik): equality of two rational power series over
+``N̄ = N ∪ {∞}`` is decidable.  Our reduction:
+
+1. **Infinity supports.**  The words with coefficient ``∞`` form a regular
+   language (:func:`repro.automata.wfa.infinity_support_nfa`).  The two
+   series must have the same infinity support — a regular-language equality,
+   decided by subset construction + product BFS, which also yields a
+   distinguishing word on failure.
+2. **Finite parts.**  On the complement of the (common) infinity support,
+   both series take values in ``N ⊂ Q``.  After zeroing the ``∞`` weights
+   and restricting to the complement language (Hadamard product with a
+   DFA), equality of the two ``Q``-weighted automata is decided by Tzeng's
+   algorithm: breadth-first exploration of the reachable left-vector space
+   with exact rational linear algebra; at most ``n_A + n_B`` basis vectors
+   exist, so the search terminates and failure yields a counterexample word.
+
+Both stages are exact (integers / fractions), so the combined procedure is a
+*decision* procedure, not a semidecision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.automata.linalg import RowSpace, Vector, dot
+from repro.automata.nfa import determinize, dfa_equivalent
+from repro.automata.wfa import (
+    WFA,
+    drop_infinite_weights,
+    infinity_support_nfa,
+    restrict_to_dfa,
+)
+from repro.util.errors import DecisionError
+
+__all__ = ["EquivalenceResult", "wfa_equivalent", "tzeng_equivalent"]
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of an equivalence check.
+
+    Attributes:
+        equal: whether the two behaviours coincide on every word.
+        counterexample: a distinguishing word when ``equal`` is ``False``
+            (``None`` when equal).
+        reason: human-readable explanation of which stage decided.
+    """
+
+    equal: bool
+    counterexample: Optional[Tuple[str, ...]]
+    reason: str
+
+    def __bool__(self) -> bool:
+        return self.equal
+
+
+def _finite_weight_to_fraction(weight) -> Fraction:
+    if weight.is_infinite:
+        raise DecisionError("infinite weight reached Tzeng stage; drop them first")
+    return Fraction(weight.finite_value)
+
+
+def tzeng_equivalent(left: WFA, right: WFA) -> EquivalenceResult:
+    """Tzeng's equivalence algorithm for finitely-weighted automata.
+
+    Explores words in breadth-first order, maintaining the joint left vector
+    ``u(w) = (α_L · M_L(w), α_R · M_R(w))`` over ``Q``.  The series are equal
+    iff ``⟨u(w), (η_L, -η_R)⟩ = 0`` for every ``w``; it suffices to check one
+    word per independent vector, of which there are at most ``n_L + n_R``.
+    """
+    dim = left.num_states + right.num_states
+    final_functional: Vector = tuple(
+        [_finite_weight_to_fraction(w) for w in left.final]
+        + [-_finite_weight_to_fraction(w) for w in right.final]
+    )
+    start: Vector = tuple(
+        [_finite_weight_to_fraction(w) for w in left.initial]
+        + [_finite_weight_to_fraction(w) for w in right.initial]
+    )
+    alphabet = sorted(left.alphabet | right.alphabet)
+    basis = RowSpace(dim)
+    queue: List[Tuple[Vector, Tuple[str, ...]]] = []
+    if basis.insert(start):
+        queue.append((start, ()))
+    while queue:
+        vector, word = queue.pop(0)
+        if dot(vector, final_functional) != 0:
+            return EquivalenceResult(
+                equal=False,
+                counterexample=word,
+                reason=f"finite coefficients differ on word {' '.join(word) or 'ε'}",
+            )
+        for letter in alphabet:
+            successor = _advance(vector, left, right, letter)
+            if basis.insert(successor):
+                queue.append((successor, word + (letter,)))
+    return EquivalenceResult(equal=True, counterexample=None, reason="Tzeng basis exhausted")
+
+
+def _advance(vector: Vector, left: WFA, right: WFA, letter: str) -> Vector:
+    n_left = left.num_states
+    left_part = list(vector[:n_left])
+    right_part = list(vector[n_left:])
+    return tuple(
+        _vector_matrix(left_part, left, letter) + _vector_matrix(right_part, right, letter)
+    )
+
+
+def _vector_matrix(row: List[Fraction], wfa: WFA, letter: str) -> List[Fraction]:
+    n = wfa.num_states
+    if letter not in wfa.matrices:
+        return [Fraction(0)] * n
+    matrix = wfa.matrices[letter]
+    result = [Fraction(0)] * n
+    for i, value in enumerate(row):
+        if value == 0:
+            continue
+        for j in range(n):
+            weight = matrix[i][j]
+            if not weight.is_zero:
+                result[j] += value * weight.finite_value
+    return result
+
+
+def wfa_equivalent(left: WFA, right: WFA) -> EquivalenceResult:
+    """Full ``N̄`` behavioural equality of two weighted automata."""
+    # Stage 1: compare the regular languages of infinite-coefficient words.
+    left_dfa = determinize(infinity_support_nfa(left))
+    right_dfa = determinize(infinity_support_nfa(right))
+    same_support, witness = dfa_equivalent(left_dfa, right_dfa)
+    if not same_support:
+        assert witness is not None
+        return EquivalenceResult(
+            equal=False,
+            counterexample=tuple(witness),
+            reason=(
+                "infinity supports differ on word "
+                f"{' '.join(witness) or 'ε'} (one side is ∞, the other finite)"
+            ),
+        )
+    # Stage 2: compare finite parts away from the common infinity support.
+    finite_language = left_dfa.complement()
+    left_finite = restrict_to_dfa(drop_infinite_weights(left), finite_language)
+    right_finite = restrict_to_dfa(drop_infinite_weights(right), finite_language)
+    result = tzeng_equivalent(left_finite, right_finite)
+    if result.equal:
+        return EquivalenceResult(
+            equal=True,
+            counterexample=None,
+            reason="equal infinity supports and equal finite parts",
+        )
+    return result

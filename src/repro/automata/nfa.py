@@ -1,0 +1,207 @@
+"""Boolean finite automata (NFA/DFA) over string alphabets.
+
+This is a substrate module for the NKA decision procedure: the set of words
+on which a rational power series over ``N̄`` takes the value ``∞`` (its
+*infinity support*) is a regular language, and deciding series equality
+requires comparing two such languages and intersecting weighted automata
+with their complement (see :mod:`repro.automata.equivalence`).
+
+States are plain integers ``0..n-1``; alphabets are frozensets of strings
+(one string per letter, matching NKA symbol names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["NFA", "DFA", "determinize", "dfa_equivalent", "dfa_product_intersection"]
+
+
+@dataclass
+class NFA:
+    """A nondeterministic finite automaton (no epsilon transitions).
+
+    Attributes:
+        num_states: number of states (named ``0..num_states-1``).
+        alphabet: the input alphabet.
+        transitions: mapping ``(state, letter) -> set of successor states``.
+        initial: set of initial states.
+        accepting: set of accepting states.
+    """
+
+    num_states: int
+    alphabet: FrozenSet[str]
+    transitions: Dict[Tuple[int, str], Set[int]] = field(default_factory=dict)
+    initial: Set[int] = field(default_factory=set)
+    accepting: Set[int] = field(default_factory=set)
+
+    def add_transition(self, source: int, letter: str, target: int) -> None:
+        self.transitions.setdefault((source, letter), set()).add(target)
+
+    def successors(self, states: Iterable[int], letter: str) -> FrozenSet[int]:
+        result: Set[int] = set()
+        for state in states:
+            result |= self.transitions.get((state, letter), set())
+        return frozenset(result)
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        current = frozenset(self.initial)
+        for letter in word:
+            current = self.successors(current, letter)
+            if not current:
+                return False
+        return any(state in self.accepting for state in current)
+
+
+@dataclass
+class DFA:
+    """A complete deterministic finite automaton.
+
+    ``transitions`` must be total: every ``(state, letter)`` has exactly one
+    successor.  :func:`determinize` produces complete DFAs (the empty subset
+    acts as the sink).
+    """
+
+    num_states: int
+    alphabet: FrozenSet[str]
+    transitions: Dict[Tuple[int, str], int]
+    initial: int
+    accepting: Set[int]
+
+    def step(self, state: int, letter: str) -> int:
+        return self.transitions[(state, letter)]
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        state = self.initial
+        for letter in word:
+            state = self.step(state, letter)
+        return state in self.accepting
+
+    def complement(self) -> "DFA":
+        """The DFA for the complement language (same alphabet)."""
+        return DFA(
+            num_states=self.num_states,
+            alphabet=self.alphabet,
+            transitions=dict(self.transitions),
+            initial=self.initial,
+            accepting=set(range(self.num_states)) - self.accepting,
+        )
+
+    def is_empty(self) -> bool:
+        """Whether the accepted language is empty (BFS reachability)."""
+        frontier = [self.initial]
+        seen = {self.initial}
+        while frontier:
+            state = frontier.pop()
+            if state in self.accepting:
+                return False
+            for letter in self.alphabet:
+                succ = self.step(state, letter)
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return True
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Subset construction producing a complete DFA."""
+    alphabet = nfa.alphabet
+    start = frozenset(nfa.initial)
+    index: Dict[FrozenSet[int], int] = {start: 0}
+    worklist: List[FrozenSet[int]] = [start]
+    transitions: Dict[Tuple[int, str], int] = {}
+    accepting: Set[int] = set()
+    while worklist:
+        subset = worklist.pop()
+        state_id = index[subset]
+        if subset & nfa.accepting:
+            accepting.add(state_id)
+        for letter in alphabet:
+            successor = nfa.successors(subset, letter)
+            if successor not in index:
+                index[successor] = len(index)
+                worklist.append(successor)
+            transitions[(state_id, letter)] = index[successor]
+    return DFA(
+        num_states=len(index),
+        alphabet=alphabet,
+        transitions=transitions,
+        initial=0,
+        accepting=accepting,
+    )
+
+
+def _merge_alphabets(left: DFA, right: DFA) -> FrozenSet[str]:
+    return left.alphabet | right.alphabet
+
+
+def _total_step(dfa: DFA, state: Optional[int], letter: str) -> Optional[int]:
+    """Step that treats letters outside ``dfa.alphabet`` as moving to a sink.
+
+    ``None`` is the implicit non-accepting sink used when comparing automata
+    over different (union) alphabets.
+    """
+    if state is None or letter not in dfa.alphabet:
+        return None
+    return dfa.step(state, letter)
+
+
+def dfa_equivalent(left: DFA, right: DFA) -> Tuple[bool, Optional[List[str]]]:
+    """Decide language equality; on failure return a distinguishing word.
+
+    Implemented as a Hopcroft–Karp style synchronous BFS over the product,
+    over the union alphabet (letters absent from one automaton lead to that
+    automaton's implicit sink).
+    """
+    alphabet = _merge_alphabets(left, right)
+    start = (left.initial, right.initial)
+    seen: Set[Tuple[Optional[int], Optional[int]]] = {start}
+    queue: List[Tuple[Tuple[Optional[int], Optional[int]], List[str]]] = [(start, [])]
+    while queue:
+        (lstate, rstate), word = queue.pop(0)
+        laccept = lstate is not None and lstate in left.accepting
+        raccept = rstate is not None and rstate in right.accepting
+        if laccept != raccept:
+            return False, word
+        for letter in sorted(alphabet):
+            pair = (_total_step(left, lstate, letter), _total_step(right, rstate, letter))
+            if pair not in seen:
+                seen.add(pair)
+                queue.append((pair, word + [letter]))
+    return True, None
+
+
+def dfa_product_intersection(left: DFA, right: DFA) -> DFA:
+    """Product DFA accepting the intersection (over the union alphabet).
+
+    States are reachable pairs; pairs involving an implicit sink are
+    materialised as a concrete dead state so the result stays complete.
+    """
+    alphabet = _merge_alphabets(left, right)
+    start = (left.initial, right.initial)
+    index: Dict[Tuple[Optional[int], Optional[int]], int] = {start: 0}
+    worklist: List[Tuple[Optional[int], Optional[int]]] = [start]
+    transitions: Dict[Tuple[int, str], int] = {}
+    accepting: Set[int] = set()
+    while worklist:
+        pair = worklist.pop()
+        state_id = index[pair]
+        lstate, rstate = pair
+        laccept = lstate is not None and lstate in left.accepting
+        raccept = rstate is not None and rstate in right.accepting
+        if laccept and raccept:
+            accepting.add(state_id)
+        for letter in alphabet:
+            successor = (_total_step(left, lstate, letter), _total_step(right, rstate, letter))
+            if successor not in index:
+                index[successor] = len(index)
+                worklist.append(successor)
+            transitions[(state_id, letter)] = index[successor]
+    return DFA(
+        num_states=len(index),
+        alphabet=alphabet,
+        transitions=transitions,
+        initial=0,
+        accepting=accepting,
+    )

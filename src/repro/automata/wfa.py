@@ -1,0 +1,398 @@
+"""Weighted finite automata over the extended naturals ``N̄``.
+
+A rational power series over ``N̄`` (paper Appendix A) is exactly the
+behaviour of a finite automaton whose transition, initial and final weights
+live in ``N̄``.  This module provides:
+
+* :class:`WFA` — the automaton representation (vector/matrix form);
+* :func:`matrix_star` — the Kleene star of a square ``N̄``-matrix, computed
+  with the standard recursive block formula, valid because ``N̄`` is a
+  complete star semiring;
+* :func:`expr_to_wfa` — compilation of an NKA expression to a WFA by a
+  Thompson-style construction followed by exact ε-elimination (the ε-closure
+  is ``E*`` for the ε-weight matrix ``E``, so ε-cycles — which arise from
+  ``e*`` when ``{{e}}[ε] ≥ 1`` — correctly produce ``∞`` weights, e.g.
+  ``{{1*}}[ε] = ∞``);
+* :func:`infinity_support_nfa` — the Boolean NFA recognising the words whose
+  coefficient is ``∞`` (used by the equality check);
+* :func:`drop_infinite_weights` / :func:`restrict_to_dfa` — the surgery
+  needed to reduce ``N̄``-equality to exact rational equivalence.
+
+The weight of a word ``w = a1…ak`` is ``α · M(a1) · … · M(ak) · η`` where
+``α`` is the initial row vector, ``M(a)`` the transition matrix of letter
+``a`` and ``η`` the final column vector; all arithmetic is in ``N̄``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.core.expr import (
+    Expr,
+    One,
+    Product,
+    Star,
+    Sum,
+    Symbol,
+    Zero,
+    alphabet as expr_alphabet,
+)
+from repro.core.semiring import ExtNat, INF, ONE, ZERO
+from repro.automata.nfa import DFA, NFA
+
+__all__ = [
+    "WFA",
+    "matrix_star",
+    "matrix_mul",
+    "matrix_add",
+    "expr_to_wfa",
+    "infinity_support_nfa",
+    "drop_infinite_weights",
+    "restrict_to_dfa",
+]
+
+Matrix = List[List[ExtNat]]
+
+
+def _zeros(rows: int, cols: int) -> Matrix:
+    return [[ZERO for _ in range(cols)] for _ in range(rows)]
+
+
+def _identity(n: int) -> Matrix:
+    m = _zeros(n, n)
+    for i in range(n):
+        m[i][i] = ONE
+    return m
+
+
+def matrix_add(a: Matrix, b: Matrix) -> Matrix:
+    return [[x + y for x, y in zip(row_a, row_b)] for row_a, row_b in zip(a, b)]
+
+
+def matrix_mul(a: Matrix, b: Matrix) -> Matrix:
+    rows, inner, cols = len(a), len(b), len(b[0]) if b else 0
+    result = _zeros(rows, cols)
+    for i in range(rows):
+        row_a = a[i]
+        out = result[i]
+        for k in range(inner):
+            coeff = row_a[k]
+            if coeff.is_zero:
+                continue
+            row_b = b[k]
+            for j in range(cols):
+                if not row_b[j].is_zero:
+                    out[j] = out[j] + coeff * row_b[j]
+    return result
+
+
+def matrix_star(m: Matrix) -> Matrix:
+    """``m* = Σ_k m^k`` for a square matrix over ``N̄``.
+
+    Uses the classical recursive 2×2 block decomposition valid in any
+    complete star semiring: with ``m = [[A, B], [C, D]]``,
+
+    * ``F = (A + B · D* · C)*``
+    * ``m* = [[F,            F · B · D*                ],
+              [D* · C · F,   D* + D* · C · F · B · D* ]]``
+    """
+    n = len(m)
+    if n == 0:
+        return []
+    if n == 1:
+        return [[m[0][0].star()]]
+    half = n // 2
+
+    def block(rows: range, cols: range) -> Matrix:
+        return [[m[i][j] for j in cols] for i in rows]
+
+    top, bottom = range(0, half), range(half, n)
+    a, b = block(top, top), block(top, bottom)
+    c, d = block(bottom, top), block(bottom, bottom)
+    d_star = matrix_star(d)
+    f = matrix_star(matrix_add(a, matrix_mul(matrix_mul(b, d_star), c)))
+    fb_dstar = matrix_mul(matrix_mul(f, b), d_star)
+    dstar_cf = matrix_mul(matrix_mul(d_star, c), f)
+    bottom_right = matrix_add(d_star, matrix_mul(dstar_cf, matrix_mul(b, d_star)))
+    result = _zeros(n, n)
+    for i in range(half):
+        for j in range(half):
+            result[i][j] = f[i][j]
+        for j in range(half, n):
+            result[i][j] = fb_dstar[i][j - half]
+    for i in range(half, n):
+        for j in range(half):
+            result[i][j] = dstar_cf[i - half][j]
+        for j in range(half, n):
+            result[i][j] = bottom_right[i - half][j - half]
+    return result
+
+
+@dataclass
+class WFA:
+    """A weighted finite automaton over ``N̄`` in vector/matrix form."""
+
+    num_states: int
+    alphabet: FrozenSet[str]
+    initial: List[ExtNat]
+    final: List[ExtNat]
+    matrices: Dict[str, Matrix] = field(default_factory=dict)
+
+    def matrix(self, letter: str) -> Matrix:
+        if letter not in self.matrices:
+            self.matrices[letter] = _zeros(self.num_states, self.num_states)
+        return self.matrices[letter]
+
+    def weight(self, word: Sequence[str]) -> ExtNat:
+        """The series coefficient of ``word`` (exact ``N̄`` arithmetic)."""
+        row = list(self.initial)
+        for letter in word:
+            if letter not in self.matrices:
+                return ZERO
+            matrix = self.matrices[letter]
+            row = [
+                _row_times_column(row, matrix, j) for j in range(self.num_states)
+            ]
+        total = ZERO
+        for value, final in zip(row, self.final):
+            total = total + value * final
+        return total
+
+    def trim(self) -> "WFA":
+        """Remove states that are unreachable or cannot reach a final weight."""
+        forward = _closure(
+            {i for i, w in enumerate(self.initial) if not w.is_zero},
+            self._positive_edges(),
+        )
+        backward = _closure(
+            {i for i, w in enumerate(self.final) if not w.is_zero},
+            self._positive_edges(reverse=True),
+        )
+        keep = sorted(forward & backward)
+        if len(keep) == self.num_states:
+            return self
+        index = {old: new for new, old in enumerate(keep)}
+        trimmed = WFA(
+            num_states=len(keep),
+            alphabet=self.alphabet,
+            initial=[self.initial[old] for old in keep],
+            final=[self.final[old] for old in keep],
+        )
+        for letter, matrix in self.matrices.items():
+            new_matrix = _zeros(len(keep), len(keep))
+            for old_i in keep:
+                for old_j in keep:
+                    new_matrix[index[old_i]][index[old_j]] = matrix[old_i][old_j]
+            trimmed.matrices[letter] = new_matrix
+        return trimmed
+
+    def _positive_edges(self, reverse: bool = False) -> Dict[int, Set[int]]:
+        edges: Dict[int, Set[int]] = {}
+        for matrix in self.matrices.values():
+            for i in range(self.num_states):
+                for j in range(self.num_states):
+                    if not matrix[i][j].is_zero:
+                        if reverse:
+                            edges.setdefault(j, set()).add(i)
+                        else:
+                            edges.setdefault(i, set()).add(j)
+        return edges
+
+
+def _row_times_column(row: List[ExtNat], matrix: Matrix, j: int) -> ExtNat:
+    total = ZERO
+    for i, value in enumerate(row):
+        if not value.is_zero and not matrix[i][j].is_zero:
+            total = total + value * matrix[i][j]
+    return total
+
+
+def _closure(seed: Set[int], edges: Dict[int, Set[int]]) -> Set[int]:
+    seen = set(seed)
+    frontier = list(seed)
+    while frontier:
+        state = frontier.pop()
+        for succ in edges.get(state, ()):  # pragma: no branch
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return seen
+
+
+# -- Thompson construction -----------------------------------------------------
+
+
+class _Builder:
+    """Mutable scratch automaton with ε-transitions, finalised by ε-elimination."""
+
+    def __init__(self, alphabet: FrozenSet[str]):
+        self.alphabet = alphabet
+        self.count = 0
+        self.epsilon: List[Tuple[int, int]] = []
+        self.letters: List[Tuple[int, str, int]] = []
+
+    def fresh(self) -> int:
+        state = self.count
+        self.count += 1
+        return state
+
+    def build(self, expr: Expr) -> Tuple[int, int]:
+        """Return (start, end) states for ``expr`` (Thompson construction)."""
+        start, end = self.fresh(), self.fresh()
+        if isinstance(expr, Zero):
+            pass  # no path from start to end
+        elif isinstance(expr, One):
+            self.epsilon.append((start, end))
+        elif isinstance(expr, Symbol):
+            self.letters.append((start, expr.name, end))
+        elif isinstance(expr, Sum):
+            for child in (expr.left, expr.right):
+                sub_start, sub_end = self.build(child)
+                self.epsilon.append((start, sub_start))
+                self.epsilon.append((sub_end, end))
+        elif isinstance(expr, Product):
+            left_start, left_end = self.build(expr.left)
+            right_start, right_end = self.build(expr.right)
+            self.epsilon.append((start, left_start))
+            self.epsilon.append((left_end, right_start))
+            self.epsilon.append((right_end, end))
+        elif isinstance(expr, Star):
+            sub_start, sub_end = self.build(expr.body)
+            self.epsilon.append((start, end))
+            self.epsilon.append((start, sub_start))
+            self.epsilon.append((sub_end, sub_start))
+            self.epsilon.append((sub_end, end))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown expression node {expr!r}")
+        return start, end
+
+
+def expr_to_wfa(expr: Expr, extra_alphabet: FrozenSet[str] = frozenset()) -> WFA:
+    """Compile an NKA expression to an ε-free WFA over ``N̄``.
+
+    The behaviour of the result equals the series ``{{expr}}`` of
+    Definition A.4: for every word ``w``, ``result.weight(w) = {{expr}}[w]``.
+    ε-elimination computes the exact ε-closure ``C = E*`` (matrix star), then
+    sets ``α' = α·C`` and ``M'(a) = M(a)·C`` so that
+    ``α'·M'(a1)…M'(ak)·η = α·C·M(a1)·C·…·M(ak)·C·η``, the sum over all runs
+    interleaved with arbitrarily many ε-steps.
+    """
+    sigma = frozenset(expr_alphabet(expr)) | extra_alphabet
+    builder = _Builder(sigma)
+    start, end = builder.build(expr)
+    n = builder.count
+
+    eps = _zeros(n, n)
+    for i, j in builder.epsilon:
+        eps[i][j] = eps[i][j] + ONE
+    closure = matrix_star(eps)
+
+    wfa = WFA(
+        num_states=n,
+        alphabet=sigma,
+        initial=[closure[start][j] for j in range(n)],
+        final=[ONE if i == end else ZERO for i in range(n)],
+    )
+    for source, letter, target in builder.letters:
+        matrix = wfa.matrix(letter)
+        for j in range(n):
+            if not closure[target][j].is_zero:
+                matrix[source][j] = matrix[source][j] + closure[target][j]
+    return wfa.trim()
+
+
+# -- surgery for the equality check ---------------------------------------------
+
+
+def infinity_support_nfa(wfa: WFA) -> NFA:
+    """The NFA accepting ``{w : wfa.weight(w) = ∞}``.
+
+    A word has infinite coefficient iff some accepting run with all factors
+    positive contains an ``∞`` factor (initial weight, transition weight or
+    final weight) — a word only has finitely many runs, so no other source
+    of infinity exists.  States are pairs ``(q, seen_infinity_bit)``.
+    """
+    n = wfa.num_states
+
+    def pack(state: int, bit: bool) -> int:
+        return state * 2 + (1 if bit else 0)
+
+    nfa = NFA(num_states=2 * n, alphabet=wfa.alphabet)
+    for state, weight in enumerate(wfa.initial):
+        if not weight.is_zero:
+            nfa.initial.add(pack(state, weight.is_infinite))
+    for state, weight in enumerate(wfa.final):
+        if not weight.is_zero:
+            if weight.is_infinite:
+                nfa.accepting.add(pack(state, False))
+            nfa.accepting.add(pack(state, True))
+    for letter, matrix in wfa.matrices.items():
+        for i in range(n):
+            for j in range(n):
+                weight = matrix[i][j]
+                if weight.is_zero:
+                    continue
+                for bit in (False, True):
+                    nfa.add_transition(
+                        pack(i, bit), letter, pack(j, bit or weight.is_infinite)
+                    )
+    return nfa
+
+
+def drop_infinite_weights(wfa: WFA) -> WFA:
+    """Zero out every ``∞`` weight, keeping only the finite behaviour.
+
+    On any word *outside* the infinity support the result computes the same
+    (finite) coefficient as ``wfa``: a run through an ``∞``-weight on such a
+    word would put the word in the infinity support, so no positive run of
+    ``wfa`` on it touches an ``∞`` weight.
+    """
+    cleaned = WFA(
+        num_states=wfa.num_states,
+        alphabet=wfa.alphabet,
+        initial=[ZERO if w.is_infinite else w for w in wfa.initial],
+        final=[ZERO if w.is_infinite else w for w in wfa.final],
+    )
+    for letter, matrix in wfa.matrices.items():
+        cleaned.matrices[letter] = [
+            [ZERO if w.is_infinite else w for w in row] for row in matrix
+        ]
+    return cleaned
+
+
+def restrict_to_dfa(wfa: WFA, dfa: DFA) -> WFA:
+    """The Hadamard product of ``wfa`` with the characteristic series of ``dfa``.
+
+    The result's coefficient on ``w`` is ``wfa.weight(w)`` if ``dfa`` accepts
+    ``w`` and ``0`` otherwise.  Letters of ``wfa`` missing from the DFA's
+    alphabet are treated as rejected by the DFA (weight 0).
+    """
+    n, m = wfa.num_states, dfa.num_states
+
+    def pack(state: int, dstate: int) -> int:
+        return state * m + dstate
+
+    product = WFA(
+        num_states=n * m,
+        alphabet=wfa.alphabet,
+        initial=[ZERO for _ in range(n * m)],
+        final=[ZERO for _ in range(n * m)],
+    )
+    for state, weight in enumerate(wfa.initial):
+        product.initial[pack(state, dfa.initial)] = weight
+    for state, weight in enumerate(wfa.final):
+        for dstate in dfa.accepting:
+            product.final[pack(state, dstate)] = weight
+    for letter, matrix in wfa.matrices.items():
+        if letter not in dfa.alphabet:
+            continue
+        target = product.matrix(letter)
+        for dstate in range(m):
+            dnext = dfa.step(dstate, letter)
+            for i in range(n):
+                for j in range(n):
+                    weight = matrix[i][j]
+                    if not weight.is_zero:
+                        target[pack(i, dstate)][pack(j, dnext)] = weight
+    return product.trim()

@@ -1,0 +1,85 @@
+"""The paper's primary contribution: non-idempotent Kleene algebra (NKA).
+
+Public surface:
+
+* expressions and parsing — :mod:`repro.core.expr`, :mod:`repro.core.parser`;
+* the ``N̄`` semiring — :mod:`repro.core.semiring`;
+* axioms and derived theorems — :mod:`repro.core.axioms`,
+  :mod:`repro.core.theorems`;
+* machine-checked equational proofs — :mod:`repro.core.proof`,
+  :mod:`repro.core.rewrite`, :mod:`repro.core.hypotheses`;
+* the decision procedure for ``⊢NKA e = f`` — :mod:`repro.core.decision`.
+"""
+
+from repro.core.decision import coefficient, nka_equal, nka_equal_detailed, nka_leq_refute
+from repro.core.expr import (
+    Expr,
+    ONE,
+    Product,
+    Star,
+    Sum,
+    Symbol,
+    ZERO,
+    Zero,
+    One,
+    alphabet,
+    expr_size,
+    product_of,
+    star_height,
+    substitute,
+    sum_of,
+    sym,
+    symbols,
+)
+from repro.core.hypotheses import (
+    HypothesisSet,
+    commuting,
+    guard_algebra,
+    inverse_pair,
+    overwrite,
+    projective_measurement,
+)
+from repro.core.parser import ParseError, parse
+from repro.core.proof import CheckedProof, Equation, Law, Proof, law
+from repro.core.semiring import ExtNat, INF
+from repro.core.rewrite import ac_equivalent
+
+__all__ = [
+    "Expr",
+    "Symbol",
+    "Sum",
+    "Product",
+    "Star",
+    "Zero",
+    "One",
+    "ZERO",
+    "ONE",
+    "sym",
+    "symbols",
+    "sum_of",
+    "product_of",
+    "alphabet",
+    "expr_size",
+    "star_height",
+    "substitute",
+    "parse",
+    "ParseError",
+    "ExtNat",
+    "INF",
+    "nka_equal",
+    "nka_equal_detailed",
+    "nka_leq_refute",
+    "coefficient",
+    "ac_equivalent",
+    "Proof",
+    "CheckedProof",
+    "Law",
+    "Equation",
+    "law",
+    "HypothesisSet",
+    "projective_measurement",
+    "commuting",
+    "inverse_pair",
+    "overwrite",
+    "guard_algebra",
+]

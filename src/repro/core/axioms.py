@@ -1,0 +1,129 @@
+"""The NKA axioms (paper Figure 3).
+
+NKA keeps Kozen's KA axiomatisation minus the idempotent law ``p + p = p``
+and with the KA-specific partial-order definition ``p ≤ q ↔ p + q = q``
+replaced by the axioms of a partial order preserved by ``+`` and ``·``.
+
+Three groups:
+
+* **equational semiring laws** — usable directly as rewrite rules
+  (:data:`SEMIRING_LAWS`);
+* **order laws** — properties of ``≤`` (reflexivity, antisymmetry,
+  transitivity, monotonicity); these are rule *formats*, recorded here as
+  data for the model-soundness checks in :mod:`repro.pathmodel.soundness`
+  and :mod:`repro.series`;
+* **star laws** — the inequality ``1 + p·p* ≤ p*`` and the two inductive
+  implications; again recorded as data and checked against the models.
+
+The equational consequences needed for rewriting (fixed point, sliding,
+denesting, …) live in :mod:`repro.core.theorems` with machine-checked
+derivations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.expr import Expr, ONE, ZERO, sym
+from repro.core.proof import Law, law
+
+__all__ = [
+    "SEMIRING_LAWS",
+    "ADD_ASSOC",
+    "ADD_COMM",
+    "ADD_UNIT",
+    "MUL_ASSOC",
+    "MUL_UNIT_LEFT",
+    "MUL_UNIT_RIGHT",
+    "ANNIHILATE_LEFT",
+    "ANNIHILATE_RIGHT",
+    "DISTRIB_LEFT",
+    "DISTRIB_RIGHT",
+    "Inequality",
+    "HornRule",
+    "STAR_UNFOLD_LEQ",
+    "STAR_INDUCTION_LEFT",
+    "STAR_INDUCTION_RIGHT",
+    "ORDER_LAW_NAMES",
+]
+
+_p, _q, _r = sym("p"), sym("q"), sym("r")
+
+# Equational semiring laws (Fig. 3, NKA column).  The AC/unit/annihilator
+# subset is built into the structural normal form of repro.core.rewrite;
+# they are still exposed as laws for completeness and for the model checks.
+ADD_ASSOC = law("add-assoc", _p + (_q + _r), (_p + _q) + _r)
+ADD_COMM = law("add-comm", _p + _q, _q + _p)
+ADD_UNIT = law("add-unit", _p + ZERO, _p)
+MUL_ASSOC = law("mul-assoc", _p * (_q * _r), (_p * _q) * _r)
+MUL_UNIT_LEFT = law("mul-unit-left", ONE * _p, _p)
+MUL_UNIT_RIGHT = law("mul-unit-right", _p * ONE, _p)
+ANNIHILATE_LEFT = law("annihilate-left", ZERO * _p, ZERO)
+ANNIHILATE_RIGHT = law("annihilate-right", _p * ZERO, ZERO)
+DISTRIB_LEFT = law("distributive-law-left", _p * (_q + _r), _p * _q + _p * _r)
+DISTRIB_RIGHT = law("distributive-law-right", (_p + _q) * _r, _p * _r + _q * _r)
+
+SEMIRING_LAWS: Tuple[Law, ...] = (
+    ADD_ASSOC,
+    ADD_COMM,
+    ADD_UNIT,
+    MUL_ASSOC,
+    MUL_UNIT_LEFT,
+    MUL_UNIT_RIGHT,
+    ANNIHILATE_LEFT,
+    ANNIHILATE_RIGHT,
+    DISTRIB_LEFT,
+    DISTRIB_RIGHT,
+)
+
+
+@dataclass(frozen=True)
+class Inequality:
+    """An inequality schema ``lhs ≤ rhs`` over metavariables."""
+
+    name: str
+    lhs: Expr
+    rhs: Expr
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.lhs} ≤ {self.rhs}"
+
+
+@dataclass(frozen=True)
+class HornRule:
+    """A Horn schema ``(∧ premises) → conclusion`` over inequalities."""
+
+    name: str
+    premises: Tuple[Inequality, ...]
+    conclusion: Inequality
+
+    def __str__(self) -> str:
+        premise_text = " ∧ ".join(f"{p.lhs} ≤ {p.rhs}" for p in self.premises)
+        return f"{self.name}: {premise_text} → {self.conclusion.lhs} ≤ {self.conclusion.rhs}"
+
+
+# Star laws (Fig. 3): the unfold inequality and the two induction rules.
+STAR_UNFOLD_LEQ = Inequality("star-unfold", ONE + _p * _p.star(), _p.star())
+
+STAR_INDUCTION_LEFT = HornRule(
+    name="star-induction-left",
+    premises=(Inequality("", _q + _p * _r, _r),),
+    conclusion=Inequality("", _p.star() * _q, _r),
+)
+
+STAR_INDUCTION_RIGHT = HornRule(
+    name="star-induction-right",
+    premises=(Inequality("", _q + _r * _p, _r),),
+    conclusion=Inequality("", _q * _p.star(), _r),
+)
+
+# The partial-order laws of Fig. 3 are rule formats over ≤; they are checked
+# against both semantic models in the test suite under these names.
+ORDER_LAW_NAMES: Tuple[str, ...] = (
+    "refl",
+    "antisym",
+    "trans",
+    "add-monotone",
+    "mul-monotone",
+)

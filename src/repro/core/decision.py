@@ -1,0 +1,109 @@
+"""The decision procedure for the equational theory of NKA.
+
+By the completeness theorem for rational power series (paper Theorem A.6,
+due to Bloom–Ésik and Ésik–Kuich), for any expressions ``e, f``::
+
+    ⊢NKA e = f   ⟺   {{e}} = {{f}}
+
+and by the quantum completeness theorem (paper Theorem 4.2) this is further
+equivalent to ``Qint(e) = Qint(f)`` for every quantum interpretation.  The
+right-hand side is decidable (Remark 2.1): we compile both expressions to
+``N̄``-weighted automata and decide behavioural equality exactly
+(:func:`repro.automata.equivalence.wfa_equivalent`).
+
+So :func:`nka_equal` decides *provability in NKA*: a ``True`` answer means a
+derivation from the Figure 3 axioms exists; a ``False`` answer comes with a
+concrete word on which the coefficients of ``{{e}}`` and ``{{f}}`` differ
+(which, through the completeness construction, yields a quantum
+interpretation separating the two expressions).
+
+Inequality ``e ≤ f`` is *undecidable* in general (Eilenberg, cited in
+Remark 2.1), so only a refutation-complete bounded check is offered
+(:func:`nka_leq_refute`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.automata.equivalence import EquivalenceResult, wfa_equivalent
+from repro.automata.wfa import WFA, expr_to_wfa
+from repro.core.expr import Expr, alphabet
+from repro.core.semiring import ExtNat
+
+__all__ = [
+    "nka_equal",
+    "nka_equal_detailed",
+    "coefficient",
+    "nka_leq_refute",
+]
+
+_WFA_CACHE: dict = {}
+_CACHE_LIMIT = 4096
+
+
+def _compile(expr: Expr, sigma: frozenset) -> WFA:
+    key = (expr, sigma)
+    cached = _WFA_CACHE.get(key)
+    if cached is not None:
+        return cached
+    wfa = expr_to_wfa(expr, extra_alphabet=sigma)
+    if len(_WFA_CACHE) >= _CACHE_LIMIT:
+        _WFA_CACHE.clear()
+    _WFA_CACHE[key] = wfa
+    return wfa
+
+
+def nka_equal_detailed(left: Expr, right: Expr) -> EquivalenceResult:
+    """Decide ``⊢NKA left = right`` and report how it was decided."""
+    sigma = frozenset(alphabet(left) | alphabet(right))
+    return wfa_equivalent(_compile(left, sigma), _compile(right, sigma))
+
+
+def nka_equal(left: Expr, right: Expr) -> bool:
+    """Decide ``⊢NKA left = right`` (True iff derivable from the NKA axioms)."""
+    return nka_equal_detailed(left, right).equal
+
+
+def coefficient(expr: Expr, word: Sequence[str]) -> ExtNat:
+    """The coefficient ``{{expr}}[word]`` of the rational power series.
+
+    Computed through the compiled automaton, hence exact — including ``∞``
+    coefficients such as ``{{1*}}[ε] = ∞``.
+    """
+    sigma = frozenset(alphabet(expr)) | frozenset(word)
+    return _compile(expr, sigma).weight(tuple(word))
+
+
+def _words_up_to(letters: Tuple[str, ...], max_length: int):
+    frontier: list = [()]
+    yield ()
+    for _ in range(max_length):
+        next_frontier = []
+        for word in frontier:
+            for letter in letters:
+                extended = word + (letter,)
+                yield extended
+                next_frontier.append(extended)
+        frontier = next_frontier
+
+
+def nka_leq_refute(
+    left: Expr, right: Expr, max_length: int = 4
+) -> Optional[Tuple[str, ...]]:
+    """Search for a refutation of ``left ≤ right`` up to ``max_length``.
+
+    Returns a word ``w`` with ``{{left}}[w] > {{right}}[w]`` if one exists
+    among words of length at most ``max_length``, else ``None``.  A ``None``
+    answer is *not* a proof of ``left ≤ right`` — the pointwise order on
+    rational series is undecidable (Remark 2.1) — but every genuine failure
+    has a finite witness, so this check is refutation-complete in the limit.
+    """
+    sigma = frozenset(alphabet(left) | alphabet(right))
+    left_wfa = _compile(left, sigma)
+    right_wfa = _compile(right, sigma)
+    letters = tuple(sorted(sigma))
+    for word in _words_up_to(letters, max_length):
+        if not left_wfa.weight(word) <= right_wfa.weight(word):
+            return word
+    return None

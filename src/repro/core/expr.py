@@ -1,0 +1,304 @@
+"""NKA expressions over an alphabet (paper Definition 2.2).
+
+An expression is built from ``0``, ``1``, atomic symbols, binary ``+`` and
+``·``, and the unary star::
+
+    e ::= 0 | 1 | a | e1 + e2 | e1 · e2 | e1*
+
+Expressions are immutable trees.  Python operators are overloaded so that
+paper notation transliterates directly::
+
+    m0, p, m1 = symbols("m0 p m1")
+    loop = (m0 * p).star() * m1          # (m0 p)* m1
+
+Two structural views coexist:
+
+* the *binary* view (:class:`Sum`, :class:`Product` with exactly two
+  children) mirrors Definition 2.2 and is what the constructors produce;
+* the *flattened* view (:func:`sum_terms`, :func:`product_factors`) exposes
+  ``+`` as an n-ary multiset and ``·`` as an n-ary sequence, which is the
+  representation the rewrite engine and the decision procedure work with.
+
+Equality (``==``) is purely syntactic on the binary tree.  Use
+:func:`repro.core.decision.nka_equal` for provable equality, or
+:func:`repro.core.rewrite.ac_equivalent` for equality modulo associativity,
+commutativity of ``+`` and the unit/annihilator laws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple, Union
+
+__all__ = [
+    "Expr",
+    "Zero",
+    "One",
+    "Symbol",
+    "Sum",
+    "Product",
+    "Star",
+    "ZERO",
+    "ONE",
+    "sym",
+    "symbols",
+    "sum_of",
+    "product_of",
+    "sum_terms",
+    "product_factors",
+    "alphabet",
+    "expr_size",
+    "star_height",
+    "substitute",
+    "subterms",
+]
+
+
+class Expr:
+    """Base class of NKA expressions.  Subclasses are frozen dataclasses."""
+
+    __slots__ = ()
+
+    # -- constructors via operators -----------------------------------------
+
+    def __add__(self, other: "Expr") -> "Expr":
+        return Sum(self, _as_expr(other))
+
+    def __radd__(self, other: "Expr") -> "Expr":
+        return Sum(_as_expr(other), self)
+
+    def __mul__(self, other: "Expr") -> "Expr":
+        return Product(self, _as_expr(other))
+
+    def __rmul__(self, other: "Expr") -> "Expr":
+        return Product(_as_expr(other), self)
+
+    def star(self) -> "Expr":
+        return Star(self)
+
+    # -- traversal -----------------------------------------------------------
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    # -- display ---------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return _render(self)
+
+    def __repr__(self) -> str:
+        return f"Expr[{_render(self)}]"
+
+
+def _as_expr(value: Union[Expr, int, str]) -> Expr:
+    """Coerce convenient literals: 0, 1 and symbol names."""
+    if isinstance(value, Expr):
+        return value
+    if value == 0:
+        return ZERO
+    if value == 1:
+        return ONE
+    if isinstance(value, str):
+        return Symbol(value)
+    raise TypeError(f"cannot interpret {value!r} as an NKA expression")
+
+
+@dataclass(frozen=True, repr=False)
+class Zero(Expr):
+    """The additive identity ``0`` (also encodes ``abort``)."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True, repr=False)
+class One(Expr):
+    """The multiplicative identity ``1`` (also encodes ``skip``)."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "1"
+
+
+@dataclass(frozen=True, repr=False)
+class Symbol(Expr):
+    """An atomic symbol ``a ∈ Σ``."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("symbol name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class Sum(Expr):
+    """A binary sum ``left + right``."""
+
+    left: Expr
+    right: Expr
+
+    __slots__ = ("left", "right")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, repr=False)
+class Product(Expr):
+    """A binary product ``left · right`` (sequential composition)."""
+
+    left: Expr
+    right: Expr
+
+    __slots__ = ("left", "right")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, repr=False)
+class Star(Expr):
+    """The Kleene star ``body*``."""
+
+    body: Expr
+
+    __slots__ = ("body",)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+
+ZERO = Zero()
+ONE = One()
+
+
+def sym(name: str) -> Symbol:
+    """Create a single atomic symbol."""
+    return Symbol(name)
+
+
+def symbols(names: str) -> Tuple[Symbol, ...]:
+    """Create several symbols from a whitespace- or comma-separated string.
+
+    >>> m0, p, m1 = symbols("m0 p m1")
+    """
+    parts = names.replace(",", " ").split()
+    return tuple(Symbol(part) for part in parts)
+
+
+def sum_of(terms: Sequence[Expr]) -> Expr:
+    """Left-associated sum of a sequence of terms (empty sum is ``0``)."""
+    terms = list(terms)
+    if not terms:
+        return ZERO
+    return reduce(Sum, terms)
+
+
+def product_of(factors: Sequence[Expr]) -> Expr:
+    """Left-associated product of a sequence (empty product is ``1``)."""
+    factors = list(factors)
+    if not factors:
+        return ONE
+    return reduce(Product, factors)
+
+
+def sum_terms(expr: Expr) -> List[Expr]:
+    """Flatten nested binary sums into a list of non-``Sum`` terms."""
+    if isinstance(expr, Sum):
+        return sum_terms(expr.left) + sum_terms(expr.right)
+    return [expr]
+
+
+def product_factors(expr: Expr) -> List[Expr]:
+    """Flatten nested binary products into a list of non-``Product`` factors."""
+    if isinstance(expr, Product):
+        return product_factors(expr.left) + product_factors(expr.right)
+    return [expr]
+
+
+def alphabet(expr: Expr) -> FrozenSet[str]:
+    """The set of symbol names occurring in ``expr``."""
+    if isinstance(expr, Symbol):
+        return frozenset((expr.name,))
+    collected: FrozenSet[str] = frozenset()
+    for child in expr.children():
+        collected |= alphabet(child)
+    return collected
+
+
+def expr_size(expr: Expr) -> int:
+    """Number of AST nodes (a standard size measure for benchmarks)."""
+    return 1 + sum(expr_size(child) for child in expr.children())
+
+
+def star_height(expr: Expr) -> int:
+    """Maximum nesting depth of stars."""
+    if isinstance(expr, Star):
+        return 1 + star_height(expr.body)
+    if not expr.children():
+        return 0
+    return max(star_height(child) for child in expr.children())
+
+
+def substitute(expr: Expr, mapping: Dict[str, Expr]) -> Expr:
+    """Replace every symbol named in ``mapping`` with the mapped expression.
+
+    This is simultaneous (capture-free — symbols have no binders) textual
+    substitution, the operation used to instantiate axiom schemata.
+    """
+    if isinstance(expr, Symbol):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Sum):
+        return Sum(substitute(expr.left, mapping), substitute(expr.right, mapping))
+    if isinstance(expr, Product):
+        return Product(substitute(expr.left, mapping), substitute(expr.right, mapping))
+    if isinstance(expr, Star):
+        return Star(substitute(expr.body, mapping))
+    return expr
+
+
+def subterms(expr: Expr) -> Iterator[Expr]:
+    """Yield every subterm of ``expr`` (including itself), pre-order."""
+    yield expr
+    for child in expr.children():
+        yield from subterms(child)
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _precedence(expr: Expr) -> int:
+    if isinstance(expr, Sum):
+        return 1
+    if isinstance(expr, Product):
+        return 2
+    return 3
+
+
+def _render(expr: Expr, parent_prec: int = 0) -> str:
+    prec = _precedence(expr)
+    if isinstance(expr, (Zero, One, Symbol)):
+        return str(expr)  # atoms never need parentheses
+    if isinstance(expr, Star):
+        body = _render(expr.body, 4)
+        text = f"{body}*"
+        return text if parent_prec <= 3 else f"({text})"
+    if isinstance(expr, Sum):
+        text = " + ".join(_render(t, prec) for t in sum_terms(expr))
+    elif isinstance(expr, Product):
+        text = " ".join(_render(f, prec + 1) for f in product_factors(expr))
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown expression node {expr!r}")
+    if prec < parent_prec:
+        return f"({text})"
+    return text

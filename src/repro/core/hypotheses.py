@@ -1,0 +1,150 @@
+"""Hypothesis sets for Horn-clause reasoning (paper Sections 5 and 6).
+
+Every application in the paper derives an equation *under hypotheses* —
+ground equations expressing semantic facts about the interpreted symbols
+(projectivity of a measurement, commutation of operations on disjoint
+registers, guard-variable arithmetic).  Corollary 4.3 makes this sound: if
+the hypotheses hold under an interpretation, so does the conclusion.
+
+This module provides builders for the hypothesis families the paper uses:
+
+* :func:`projective_measurement` — ``m_i m_j = m_i`` if ``i = j`` else ``0``
+  (Section 5.1 and footnote 4);
+* :func:`commuting` — ``x y = y x`` for operations on disjoint registers
+  (Sections 5.2, 6, Appendix B);
+* :func:`inverse_pair` — ``u u⁻¹ = u⁻¹ u = 1`` (Section 5.2);
+* :func:`guard_algebra` — the classical-guard facts of Section 6:
+  assignments overwrite (``g_i g_j = g_j``), guard tests select
+  (``g_i g_{>j} = g_i`` or ``0``, and likewise ``g_{≤j}``).
+
+A :class:`HypothesisSet` also *semantically validates* its equations against
+a quantum interpretation (superoperator equality), which is how the test
+suite guarantees the hypotheses fed to the algebraic proofs are true of the
+actual programs being optimised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.expr import Expr, ONE, Symbol, ZERO
+from repro.core.proof import Equation
+
+__all__ = [
+    "HypothesisSet",
+    "projective_measurement",
+    "commuting",
+    "inverse_pair",
+    "overwrite",
+    "guard_algebra",
+]
+
+
+@dataclass
+class HypothesisSet:
+    """A named collection of ground equations used as proof hypotheses."""
+
+    equations: List[Equation] = field(default_factory=list)
+
+    def add(self, lhs: Expr, rhs: Expr, name: str = "") -> "HypothesisSet":
+        self.equations.append(Equation(lhs, rhs, name))
+        return self
+
+    def extend(self, other: "HypothesisSet") -> "HypothesisSet":
+        self.equations.extend(other.equations)
+        return self
+
+    def __iter__(self):
+        return iter(self.equations)
+
+    def __len__(self) -> int:
+        return len(self.equations)
+
+    def named(self, name: str) -> Equation:
+        for equation in self.equations:
+            if equation.name == name:
+                return equation
+        raise KeyError(f"no hypothesis named {name!r}")
+
+    def __str__(self) -> str:
+        return "\n".join(str(equation) for equation in self.equations)
+
+
+def projective_measurement(branches: Sequence[Symbol]) -> HypothesisSet:
+    """Hypotheses for a projective measurement with the given branch symbols.
+
+    For projective measurements ``M_i M_j = δ_ij M_i`` (Section 3.1), so the
+    lifted branch superoperators satisfy ``m_i m_j = m_i`` when ``i = j`` and
+    ``m_i m_j = 0`` otherwise (footnote 4).
+    """
+    hypotheses = HypothesisSet()
+    for i, left in enumerate(branches):
+        for j, right in enumerate(branches):
+            if i == j:
+                hypotheses.add(left * right, left, name=f"{left}{right}={left}")
+            else:
+                hypotheses.add(left * right, ZERO, name=f"{left}{right}=0")
+    return hypotheses
+
+
+def commuting(
+    group_a: Iterable[Symbol], group_b: Iterable[Symbol]
+) -> HypothesisSet:
+    """``x y = y x`` for every ``x`` in ``group_a`` and ``y`` in ``group_b``.
+
+    The paper invokes these for operations acting on disjoint quantum
+    registers (Section 5.2, Appendix B) and for the fresh classical guard
+    of the normal-form construction (Section 6).
+    """
+    hypotheses = HypothesisSet()
+    for x in group_a:
+        for y in group_b:
+            hypotheses.add(x * y, y * x, name=f"{x}{y}={y}{x}")
+    return hypotheses
+
+
+def inverse_pair(u: Symbol, u_inv: Symbol) -> HypothesisSet:
+    """``u u⁻¹ = u⁻¹ u = 1`` — reversibility of a unitary (Section 5.2)."""
+    hypotheses = HypothesisSet()
+    hypotheses.add(u * u_inv, ONE, name=f"{u}{u_inv}=1")
+    hypotheses.add(u_inv * u, ONE, name=f"{u_inv}{u}=1")
+    return hypotheses
+
+
+def overwrite(assignments: Sequence[Symbol]) -> HypothesisSet:
+    """``g_i g_j = g_j`` — consecutive assignments overwrite (Section 6)."""
+    hypotheses = HypothesisSet()
+    for left in assignments:
+        for right in assignments:
+            hypotheses.add(left * right, right, name=f"{left}{right}={right}")
+    return hypotheses
+
+
+def guard_algebra(
+    assignments: Sequence[Symbol],
+    greater_tests: Dict[int, Symbol],
+    leq_tests: Dict[int, Symbol],
+    values: Optional[Sequence[int]] = None,
+) -> HypothesisSet:
+    """The Section 6 guard-variable hypotheses.
+
+    ``assignments[i]`` encodes ``g := |i⟩``; ``greater_tests[j]`` encodes the
+    measurement branch ``Meas[g] > j`` and ``leq_tests[j]`` the branch
+    ``Meas[g] ≤ j``.  The facts:
+
+    * ``g_i g_{>j} = g_i`` if ``i > j`` else ``0``;
+    * ``g_i g_{≤j} = g_i`` if ``i ≤ j`` else ``0``;
+    * ``g_i g_j = g_j`` (overwrite).
+    """
+    if values is None:
+        values = range(len(assignments))
+    hypotheses = overwrite(assignments)
+    for i, assign in zip(values, assignments):
+        for j, test in greater_tests.items():
+            result: Expr = assign if i > j else ZERO
+            hypotheses.add(assign * test, result, name=f"g{i}·g>{j}")
+        for j, test in leq_tests.items():
+            result = assign if i <= j else ZERO
+            hypotheses.add(assign * test, result, name=f"g{i}·g≤{j}")
+    return hypotheses

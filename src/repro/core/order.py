@@ -1,0 +1,226 @@
+"""Inequality derivations in NKA/NKAT.
+
+The NKA partial order is preserved by ``+`` and ``·`` (Fig. 3), so an
+inequality proof is a chain ``e_0 ≤ e_1 ≤ … ≤ e_n`` where each link either
+
+* replaces a subterm ``X`` by ``Y`` for a known ground inequality
+  ``X ≤ Y`` (monotonicity at any position — justified because every
+  context built from ``+``, ``·``, ``*`` is monotone; ``*`` monotonicity is
+  Fig. 2a's monotone-star), or
+* is an *equality* link justified by a :class:`~repro.core.proof.Law` or
+  hypothesis (equal terms are ``≤`` both ways).
+
+The two star-induction Horn rules of Fig. 3 enter through dedicated
+constructors: :meth:`OrderProof.by_star_induction_left` /
+``…_right`` consume a previously *checked* premise proof and conclude the
+star inequality.  This is exactly the discipline of the paper's Theorem 7.8
+proof.
+
+Like :class:`~repro.core.proof.Proof`, every step is verified by the AC
+rewrite engine; a failed step raises :class:`ProofError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.expr import Expr, ONE, Product, Star, Sum
+from repro.core.proof import Equation, Law
+from repro.core.rewrite import ac_equivalent, flatten, rewrite_candidates
+from repro.util.errors import ProofError
+
+__all__ = ["Inequation", "OrderProof", "CheckedOrderProof"]
+
+
+@dataclass(frozen=True)
+class Inequation:
+    """A ground inequality ``lhs ≤ rhs``."""
+
+    lhs: Expr
+    rhs: Expr
+    name: str = ""
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{self.lhs} ≤ {self.rhs}"
+
+
+@dataclass
+class _OrderStep:
+    target: Expr
+    justification: str
+    note: str
+
+
+@dataclass
+class CheckedOrderProof:
+    """A verified inequality derivation ``conclusion.lhs ≤ conclusion.rhs``."""
+
+    name: str
+    conclusion: Inequation
+    steps: Tuple[_OrderStep, ...]
+    premises: Tuple[Inequation, ...]
+
+    def transcript(self) -> str:
+        lines = [f"Order proof: {self.name or self.conclusion}"]
+        if self.premises:
+            lines.append("Premises:")
+            for premise in self.premises:
+                lines.append(f"  {premise}")
+        lines.append(f"  {self.conclusion.lhs}")
+        for step in self.steps:
+            note = f"  — {step.note}" if step.note else ""
+            lines.append(f"    ≤ {step.target}   ({step.justification}){note}")
+        lines.append("∎")
+        return "\n".join(lines)
+
+
+class OrderProof:
+    """An in-progress derivation of ``start ≤ (current)``."""
+
+    def __init__(
+        self,
+        start: Union[Expr, str],
+        premises: Sequence[Inequation] = (),
+        equations: Sequence[Equation] = (),
+        name: str = "",
+        search_limit: int = 100000,
+    ):
+        self.start = self._parse(start)
+        self.current = self.start
+        self.premises: Tuple[Inequation, ...] = tuple(premises)
+        self.equations: Tuple[Equation, ...] = tuple(equations)
+        self.name = name
+        self.search_limit = search_limit
+        self._steps: List[_OrderStep] = []
+
+    # -- step kinds -------------------------------------------------------------------
+
+    def le_step(
+        self, target: Union[Expr, str], by: Union[Inequation, str], note: str = ""
+    ) -> "OrderProof":
+        """Monotone replacement of an occurrence of ``by.lhs`` with ``by.rhs``."""
+        target = self._parse(target)
+        rule = self._resolve_inequation(by)
+        if self._apply(rule.lhs, rule.rhs, target):
+            self._steps.append(_OrderStep(target, rule.name or str(rule), note))
+            self.current = target
+            return self
+        raise ProofError(
+            f"order proof {self.name!r}: cannot justify {self.current} ≤ {target} "
+            f"by {rule}"
+        )
+
+    def eq_step(
+        self,
+        target: Union[Expr, str],
+        by: Union[Law, Equation, str, None] = None,
+        direction: str = "auto",
+        note: str = "",
+    ) -> "OrderProof":
+        """An equality link (both ≤): structural or by a law/hypothesis."""
+        target = self._parse(target)
+        if by is None:
+            if not ac_equivalent(self.current, target):
+                raise ProofError(
+                    f"order proof {self.name!r}: {self.current} is not structurally "
+                    f"equal to {target}"
+                )
+            self._steps.append(_OrderStep(target, "structural", note))
+            self.current = target
+            return self
+        from repro.core.proof import Proof
+
+        inner = Proof(self.current, hypotheses=self.equations, name=f"{self.name}/eq")
+        inner.step(target, by=by, direction=direction)
+        self._steps.append(_OrderStep(target, inner._steps[-1].law_name, note))
+        self.current = target
+        return self
+
+    def qed(self, goal: Optional[Union[Expr, str]] = None) -> CheckedOrderProof:
+        if goal is not None:
+            goal = self._parse(goal)
+            if not ac_equivalent(self.current, goal):
+                raise ProofError(
+                    f"order proof {self.name!r} ends at {self.current}, not {goal}"
+                )
+        return CheckedOrderProof(
+            name=self.name,
+            conclusion=Inequation(self.start, self.current, self.name),
+            steps=tuple(self._steps),
+            premises=self.premises,
+        )
+
+    # -- star induction (Fig. 3 Horn rules) ----------------------------------------------
+
+    @staticmethod
+    def by_star_induction_left(
+        p: Expr, q: Expr, r: Expr, premise: CheckedOrderProof, name: str = ""
+    ) -> CheckedOrderProof:
+        """From a checked proof of ``q + p·r ≤ r`` conclude ``p*·q ≤ r``."""
+        wanted_lhs = Sum(q, Product(p, r))
+        if not ac_equivalent(premise.conclusion.lhs, wanted_lhs) or not ac_equivalent(
+            premise.conclusion.rhs, r
+        ):
+            raise ProofError(
+                "star-induction-left premise must prove "
+                f"{wanted_lhs} ≤ {r}, got {premise.conclusion}"
+            )
+        conclusion = Inequation(Product(Star(p), q), r, name)
+        step = _OrderStep(r, "star-induction-left", f"premise: {premise.conclusion}")
+        return CheckedOrderProof(
+            name=name,
+            conclusion=conclusion,
+            steps=(step,),
+            premises=premise.premises,
+        )
+
+    @staticmethod
+    def by_star_induction_right(
+        p: Expr, q: Expr, r: Expr, premise: CheckedOrderProof, name: str = ""
+    ) -> CheckedOrderProof:
+        """From a checked proof of ``q + r·p ≤ r`` conclude ``q·p* ≤ r``."""
+        wanted_lhs = Sum(q, Product(r, p))
+        if not ac_equivalent(premise.conclusion.lhs, wanted_lhs) or not ac_equivalent(
+            premise.conclusion.rhs, r
+        ):
+            raise ProofError(
+                "star-induction-right premise must prove "
+                f"{wanted_lhs} ≤ {r}, got {premise.conclusion}"
+            )
+        conclusion = Inequation(Product(q, Star(p)), r, name)
+        step = _OrderStep(r, "star-induction-right", f"premise: {premise.conclusion}")
+        return CheckedOrderProof(
+            name=name,
+            conclusion=conclusion,
+            steps=(step,),
+            premises=premise.premises,
+        )
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _parse(self, value: Union[Expr, str]) -> Expr:
+        if isinstance(value, Expr):
+            return value
+        from repro.core.parser import parse
+
+        return parse(value)
+
+    def _resolve_inequation(self, by: Union[Inequation, str]) -> Inequation:
+        if isinstance(by, Inequation):
+            return by
+        for premise in self.premises:
+            if premise.name == by:
+                return premise
+        raise ProofError(f"unknown premise {by!r}")
+
+    def _apply(self, lhs: Expr, rhs: Expr, target: Expr) -> bool:
+        current_flat = flatten(self.current)
+        target_flat = flatten(target)
+        for candidate in rewrite_candidates(
+            current_flat, lhs, rhs, frozenset(), limit=self.search_limit
+        ):
+            if candidate == target_flat:
+                return True
+        return False

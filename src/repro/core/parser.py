@@ -1,0 +1,148 @@
+"""A small recursive-descent parser for NKA expressions.
+
+Grammar (standard regular-expression precedence — star binds tightest, then
+juxtaposition/``·`` for product, then ``+``)::
+
+    expr    ::= term ("+" term)*
+    term    ::= factor factor*            # juxtaposition is product
+    factor  ::= atom "*"*
+    atom    ::= "0" | "1" | SYMBOL | "(" expr ")"
+    SYMBOL  ::= [A-Za-z_] [A-Za-z0-9_<>≤⁻¹-]*
+
+Both ``;`` and ``·``/``.`` are accepted as explicit product operators, so
+``parse("m0 p (m0 p + m1)* m1")`` and ``parse("m0 · p · (m0·p + m1)* · m1")``
+produce the same tree.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from repro.core.expr import Expr, ONE, Product, Star, Sum, Symbol, ZERO
+from repro.util.errors import ReproError
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(ReproError):
+    """Raised when the input text is not a valid NKA expression."""
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<star>\*)
+  | (?P<plus>\+)
+  | (?P<dot>[·.;])
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<zero>0(?![A-Za-z0-9_]))
+  | (?P<one>1(?![A-Za-z0-9_]))
+  | (?P<symbol>[A-Za-z_][A-Za-z0-9_'<>≤⁻¹-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at position {pos}")
+        kind = match.lastgroup
+        assert kind is not None
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self) -> str:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index].kind
+        return "eof"
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def parse_expr(self) -> Expr:
+        expr = self.parse_term()
+        while self._peek() == "plus":
+            self._next()
+            expr = Sum(expr, self.parse_term())
+        return expr
+
+    def parse_term(self) -> Expr:
+        expr = self.parse_factor()
+        while True:
+            kind = self._peek()
+            if kind == "dot":
+                self._next()
+                expr = Product(expr, self.parse_factor())
+            elif kind in ("zero", "one", "symbol", "lparen"):
+                expr = Product(expr, self.parse_factor())
+            else:
+                return expr
+
+    def parse_factor(self) -> Expr:
+        expr = self.parse_atom()
+        while self._peek() == "star":
+            self._next()
+            expr = Star(expr)
+        return expr
+
+    def parse_atom(self) -> Expr:
+        kind = self._peek()
+        if kind == "zero":
+            self._next()
+            return ZERO
+        if kind == "one":
+            self._next()
+            return ONE
+        if kind == "symbol":
+            return Symbol(self._next().text)
+        if kind == "lparen":
+            opening = self._next()
+            expr = self.parse_expr()
+            if self._peek() != "rparen":
+                raise ParseError(
+                    f"unbalanced '(' at position {opening.pos} in {self._source!r}"
+                )
+            self._next()
+            return expr
+        token_desc = "end of input" if kind == "eof" else repr(self._tokens[self._index].text)
+        raise ParseError(f"expected an atom, found {token_desc} in {self._source!r}")
+
+
+def parse(text: str) -> Expr:
+    """Parse ``text`` into an :class:`~repro.core.expr.Expr`.
+
+    >>> parse("(m0 p)* m1")
+    Expr[(m0 p)* m1]
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty expression")
+    parser = _Parser(tokens, text)
+    expr = parser.parse_expr()
+    if parser._peek() != "eof":
+        stray = parser._tokens[parser._index]
+        raise ParseError(f"trailing input {stray.text!r} at position {stray.pos}")
+    return expr

@@ -1,0 +1,347 @@
+"""Machine-checked equational proofs in NKA (and NKAT).
+
+A :class:`Proof` replays a paper-style derivation: a chain of expressions
+``e_0 = e_1 = … = e_n`` where each adjacent pair is justified by one
+application of a :class:`Law` (axiom, derived theorem, or ground
+hypothesis) at some position, modulo the structural theory handled by
+:mod:`repro.core.rewrite` (AC of ``+``, A of ``·``, units, annihilator).
+
+The checker verifies each step by *searching* for a position and a
+substitution under which the law rewrites the current expression into the
+claimed next expression; a step may instead supply an explicit substitution.
+Conditional laws (Horn clauses such as swap-star) carry premises, which are
+discharged either syntactically or by bounded rewriting from the proof's
+ground hypotheses.
+
+On success :meth:`Proof.qed` returns a :class:`CheckedProof` whose
+``transcript()`` mirrors the derivations printed in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.core.expr import Expr, Symbol, alphabet, substitute
+from repro.core.rewrite import (
+    FTerm,
+    Substitution,
+    ac_equivalent,
+    flatten,
+    instantiate,
+    match,
+    reachable_by_rules,
+    rewrite_candidates,
+    unflatten,
+)
+from repro.util.errors import ProofError
+
+__all__ = ["Law", "Equation", "Proof", "CheckedProof", "law", "apply_conditional_law"]
+
+
+@dataclass(frozen=True)
+class Equation:
+    """A ground equation between two expressions (no metavariables)."""
+
+    lhs: Expr
+    rhs: Expr
+    name: str = ""
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{self.lhs} = {self.rhs}"
+
+
+@dataclass(frozen=True)
+class Law:
+    """A (possibly conditional) equation schema over metavariables.
+
+    ``premises`` are pairs of patterns that must be provably equal (from
+    the ambient hypotheses) under the matched substitution, as in the
+    swap-star rule ``pq = qp → p*q = qp*``.
+    """
+
+    name: str
+    lhs: Expr
+    rhs: Expr
+    variables: FrozenSet[str]
+    premises: Tuple[Tuple[Expr, Expr], ...] = ()
+
+    def __str__(self) -> str:
+        if self.premises:
+            conditions = " ∧ ".join(f"{l} = {r}" for l, r in self.premises)
+            return f"{self.name}: {conditions} → {self.lhs} = {self.rhs}"
+        return f"{self.name}: {self.lhs} = {self.rhs}"
+
+    def reversed(self) -> "Law":
+        return Law(
+            name=f"{self.name}⁻¹",
+            lhs=self.rhs,
+            rhs=self.lhs,
+            variables=self.variables,
+            premises=self.premises,
+        )
+
+    def instance(self, mapping: Dict[str, Expr]) -> Equation:
+        """The ground equation obtained by substituting for metavariables."""
+        missing = self.variables - set(mapping)
+        if missing:
+            raise ProofError(f"law {self.name}: unbound metavariables {sorted(missing)}")
+        return Equation(
+            lhs=substitute(self.lhs, mapping),
+            rhs=substitute(self.rhs, mapping),
+            name=self.name,
+        )
+
+
+def law(
+    name: str,
+    lhs: Expr,
+    rhs: Expr,
+    variables: str = "",
+    premises: Sequence[Tuple[Expr, Expr]] = (),
+) -> Law:
+    """Convenience constructor; ``variables`` is a space-separated list.
+
+    With ``variables=""`` every symbol of the law is a metavariable —
+    convenient for axiom schemata written with ``p q r s``.
+    """
+    if variables:
+        names = frozenset(variables.split())
+    else:
+        names = frozenset(alphabet(lhs) | alphabet(rhs))
+        for premise_lhs, premise_rhs in premises:
+            names |= alphabet(premise_lhs) | alphabet(premise_rhs)
+    return Law(name=name, lhs=lhs, rhs=rhs, variables=names, premises=tuple(premises))
+
+
+@dataclass
+class _Step:
+    target: Expr
+    law_name: str
+    note: str
+
+
+@dataclass
+class CheckedProof:
+    """A verified derivation: conclusion plus a readable transcript."""
+
+    name: str
+    hypotheses: Tuple[Equation, ...]
+    conclusion: Equation
+    steps: Tuple[_Step, ...]
+
+    def transcript(self) -> str:
+        lines = [f"Proof: {self.name or self.conclusion}"]
+        if self.hypotheses:
+            lines.append("Hypotheses:")
+            for hyp in self.hypotheses:
+                lines.append(f"  {hyp}")
+        lines.append(f"  {self.conclusion.lhs}")
+        for step in self.steps:
+            note = f"  — {step.note}" if step.note else ""
+            lines.append(f"    = {step.target}   ({step.law_name}){note}")
+        lines.append("∎")
+        return "\n".join(lines)
+
+
+class Proof:
+    """An in-progress derivation; raises :class:`ProofError` on a bad step."""
+
+    def __init__(
+        self,
+        start: Expr,
+        hypotheses: Sequence[Equation] = (),
+        name: str = "",
+        search_limit: int = 200000,
+    ):
+        self.start = start
+        self.current = start
+        self.hypotheses: Tuple[Equation, ...] = tuple(hypotheses)
+        self.name = name
+        self.search_limit = search_limit
+        self._steps: List[_Step] = []
+
+    # -- step kinds -------------------------------------------------------------
+
+    def step(
+        self,
+        target: Union[Expr, str],
+        by: Union[Law, Equation, str],
+        direction: str = "auto",
+        subst: Optional[Dict[str, Expr]] = None,
+        note: str = "",
+    ) -> "Proof":
+        """Justify ``current = target`` by one application of ``by``.
+
+        ``direction`` is ``"lr"``, ``"rl"`` or ``"auto"`` (try both).  When
+        ``subst`` is given, only that instantiation is attempted — this also
+        enables unit instantiations (binding a metavariable to ``1``/``0``)
+        which the automatic matcher deliberately avoids.
+        """
+        target = self._parse(target)
+        rule = self._resolve(by)
+        directions = {"lr": [False], "rl": [True], "auto": [False, True]}[direction]
+        for use_reverse in directions:
+            oriented = rule.reversed() if use_reverse else rule
+            if self._try_apply(oriented, target, subst):
+                self._steps.append(_Step(target, oriented.name, note))
+                self.current = target
+                return self
+        raise ProofError(
+            f"proof {self.name!r}: cannot justify\n  {self.current}\n"
+            f"  = {target}\nby {rule}"
+        )
+
+    def by_structure(self, target: Union[Expr, str], note: str = "") -> "Proof":
+        """A step free under AC/unit/annihilator normalisation."""
+        target = self._parse(target)
+        if not ac_equivalent(self.current, target):
+            raise ProofError(
+                f"proof {self.name!r}: {self.current} and {target} are not "
+                "structurally equal (AC + units + annihilator)"
+            )
+        self._steps.append(_Step(target, "structural", note))
+        self.current = target
+        return self
+
+    def qed(self, goal: Optional[Union[Expr, str]] = None) -> CheckedProof:
+        """Finish; optionally assert the final expression is ``goal``."""
+        if goal is not None:
+            goal = self._parse(goal)
+            if not ac_equivalent(self.current, goal):
+                raise ProofError(
+                    f"proof {self.name!r} ends at {self.current}, not at goal {goal}"
+                )
+        return CheckedProof(
+            name=self.name,
+            hypotheses=self.hypotheses,
+            conclusion=Equation(self.start, self.current, self.name),
+            steps=tuple(self._steps),
+        )
+
+    # -- internals ------------------------------------------------------------------
+
+    def _parse(self, value: Union[Expr, str]) -> Expr:
+        if isinstance(value, Expr):
+            return value
+        from repro.core.parser import parse
+
+        return parse(value)
+
+    def _resolve(self, by: Union[Law, Equation, str]) -> Law:
+        if isinstance(by, Law):
+            return by
+        if isinstance(by, Equation):
+            return Law(
+                name=by.name or "hypothesis",
+                lhs=by.lhs,
+                rhs=by.rhs,
+                variables=frozenset(),
+            )
+        for hyp in self.hypotheses:
+            if hyp.name == by:
+                return self._resolve(hyp)
+        raise ProofError(f"unknown law or hypothesis {by!r}")
+
+    def _try_apply(
+        self, rule: Law, target: Expr, subst: Optional[Dict[str, Expr]]
+    ) -> bool:
+        current_flat = flatten(self.current)
+        target_flat = flatten(target)
+        if subst is not None:
+            ground = rule.instance(subst)
+            ground_rule = Law(rule.name, ground.lhs, ground.rhs, frozenset())
+            if not self._premises_hold(rule, subst):
+                return False
+            for candidate in rewrite_candidates(
+                current_flat,
+                ground_rule.lhs,
+                ground_rule.rhs,
+                ground_rule.variables,
+                limit=self.search_limit,
+            ):
+                if candidate == target_flat:
+                    return True
+            return False
+        for candidate, used in _rewrite_with_substs(
+            current_flat, rule, self.search_limit
+        ):
+            if candidate == target_flat and self._premises_hold_flat(rule, used):
+                return True
+        return False
+
+    def _premises_hold(self, rule: Law, subst: Dict[str, Expr]) -> bool:
+        flat_subst: Substitution = {
+            name: flatten(expr) for name, expr in subst.items()
+        }
+        return self._premises_hold_flat(rule, flat_subst)
+
+    def _premises_hold_flat(self, rule: Law, subst: Substitution) -> bool:
+        if not rule.premises:
+            return True
+        rules = [(hyp.lhs, hyp.rhs, frozenset()) for hyp in self.hypotheses]
+        rules += [(hyp.rhs, hyp.lhs, frozenset()) for hyp in self.hypotheses]
+        for premise_lhs, premise_rhs in rule.premises:
+            try:
+                left = instantiate(premise_lhs, subst, rule.variables)
+                right = instantiate(premise_rhs, subst, rule.variables)
+            except KeyError:
+                return False
+            if left == right:
+                continue
+            if not reachable_by_rules(left, right, rules, max_depth=4):
+                return False
+        return True
+
+
+def apply_conditional_law(
+    rule: Law,
+    subst: Dict[str, Expr],
+    premise_proofs: Sequence[CheckedProof],
+    name: str = "",
+) -> Equation:
+    """Horn-style cut: instantiate a conditional law with *proved* premises.
+
+    Each premise of ``rule`` (under ``subst``) must match the conclusion of
+    the corresponding checked proof modulo the structural theory.  The
+    returned ground :class:`Equation` can then be used as a derived
+    hypothesis in further proofs — sound because the premise proofs carry
+    their own hypotheses, which the caller's pipeline validates.
+    """
+    if len(premise_proofs) != len(rule.premises):
+        raise ProofError(
+            f"law {rule.name} has {len(rule.premises)} premises, "
+            f"got {len(premise_proofs)} proofs"
+        )
+    for (premise_lhs, premise_rhs), premise_proof in zip(rule.premises, premise_proofs):
+        wanted_lhs = substitute(premise_lhs, subst)
+        wanted_rhs = substitute(premise_rhs, subst)
+        got = premise_proof.conclusion
+        forward = ac_equivalent(got.lhs, wanted_lhs) and ac_equivalent(got.rhs, wanted_rhs)
+        backward = ac_equivalent(got.lhs, wanted_rhs) and ac_equivalent(got.rhs, wanted_lhs)
+        if not (forward or backward):
+            raise ProofError(
+                f"premise proof concludes {got}, but law {rule.name} needs "
+                f"{wanted_lhs} = {wanted_rhs}"
+            )
+    instance = rule.instance(subst)
+    return Equation(instance.lhs, instance.rhs, name=name or rule.name)
+
+
+def _rewrite_with_substs(subject: FTerm, rule: Law, limit: int):
+    """Like :func:`rewrite_candidates` but also yields the substitution used."""
+    from repro.core.rewrite import _occurrences  # internal reuse
+
+    budget = limit
+    lhs_flat = flatten(rule.lhs)
+    for occurrence, rebuild in _occurrences(subject):
+        for subst in match(lhs_flat, occurrence, rule.variables):
+            budget -= 1
+            if budget < 0:
+                return
+            try:
+                replacement = instantiate(rule.rhs, subst, rule.variables)
+            except KeyError:
+                continue
+            yield rebuild(replacement), subst

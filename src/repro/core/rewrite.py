@@ -1,0 +1,603 @@
+"""Term rewriting modulo the structural theory of NKA.
+
+The equational steps in the paper's derivations (Sections 5, 6, Appendix B,
+Appendix C) silently work *modulo* associativity of ``·``, associativity and
+commutativity of ``+``, the unit laws for ``0``/``1`` and the annihilator
+law ``0·p = p·0 = 0``.  This module implements that structural theory:
+
+* **flattened terms** (:class:`FTerm`): ``+`` becomes an n-ary multiset
+  (stored canonically sorted), ``·`` an n-ary sequence, with units and the
+  annihilator normalised away;
+* **AC matching** (:func:`match`): patterns are expressions over
+  metavariables; in a product a metavariable may match any non-empty
+  contiguous block of factors, in a sum any non-empty sub-multiset of
+  summands — exactly what is needed so that e.g. the fixed-point law
+  ``1 + p p* = p*`` applies inside ``1 + m0 p (m0 p)* + x``;
+* **occurrence rewriting** (:func:`rewrite_candidates`): applies an oriented
+  equation at any subterm, including partial slices of products and subsets
+  of sums, yielding every result reachable in one step.
+
+All functions are pure; terms are hashable and comparable, so
+:func:`ac_equivalent` is simply flatten-and-compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.expr import (
+    Expr,
+    One,
+    Product,
+    Star,
+    Sum,
+    Symbol,
+    Zero,
+    product_of,
+    sum_of,
+)
+
+__all__ = [
+    "FTerm",
+    "FZero",
+    "FOne",
+    "FSym",
+    "FStar",
+    "FProd",
+    "FSum",
+    "flatten",
+    "unflatten",
+    "ac_equivalent",
+    "Substitution",
+    "match",
+    "instantiate",
+    "rewrite_candidates",
+    "reachable_by_rules",
+]
+
+
+# -- flattened terms ------------------------------------------------------------
+
+
+class FTerm:
+    """Base class of flattened terms (immutable, hashable, totally ordered)."""
+
+    __slots__ = ()
+
+    def sort_key(self) -> Tuple:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FZero(FTerm):
+    __slots__ = ()
+
+    def sort_key(self) -> Tuple:
+        return (0,)
+
+    def __str__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True)
+class FOne(FTerm):
+    __slots__ = ()
+
+    def sort_key(self) -> Tuple:
+        return (1,)
+
+    def __str__(self) -> str:
+        return "1"
+
+
+@dataclass(frozen=True)
+class FSym(FTerm):
+    name: str
+    __slots__ = ("name",)
+
+    def sort_key(self) -> Tuple:
+        return (2, self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FStar(FTerm):
+    body: FTerm
+    __slots__ = ("body",)
+
+    def sort_key(self) -> Tuple:
+        return (3, self.body.sort_key())
+
+    def __str__(self) -> str:
+        body = str(self.body)
+        if isinstance(self.body, (FSym, FZero, FOne)):
+            return f"{body}*"
+        return f"({body})*"
+
+
+@dataclass(frozen=True)
+class FProd(FTerm):
+    """An n-ary product; ``args`` has length ≥ 2, no ``FProd``/``FOne`` inside."""
+
+    args: Tuple[FTerm, ...]
+    __slots__ = ("args",)
+
+    def sort_key(self) -> Tuple:
+        return (4, tuple(arg.sort_key() for arg in self.args))
+
+    def __str__(self) -> str:
+        parts = []
+        for arg in self.args:
+            text = str(arg)
+            parts.append(f"({text})" if isinstance(arg, FSum) else text)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class FSum(FTerm):
+    """An n-ary sum as a canonically sorted multiset; length ≥ 2."""
+
+    args: Tuple[FTerm, ...]
+    __slots__ = ("args",)
+
+    def sort_key(self) -> Tuple:
+        return (5, tuple(arg.sort_key() for arg in self.args))
+
+    def __str__(self) -> str:
+        return " + ".join(str(arg) for arg in self.args)
+
+
+_FZERO = FZero()
+_FONE = FOne()
+
+
+def make_sum(args: Sequence[FTerm]) -> FTerm:
+    """Smart constructor: flatten, drop zeros, canonicalise order."""
+    collected: List[FTerm] = []
+    for arg in args:
+        if isinstance(arg, FSum):
+            collected.extend(arg.args)
+        elif not isinstance(arg, FZero):
+            collected.append(arg)
+    if not collected:
+        return _FZERO
+    if len(collected) == 1:
+        return collected[0]
+    return FSum(tuple(sorted(collected, key=lambda t: t.sort_key())))
+
+
+def make_prod(args: Sequence[FTerm]) -> FTerm:
+    """Smart constructor: flatten, drop units, annihilate on zero."""
+    collected: List[FTerm] = []
+    for arg in args:
+        if isinstance(arg, FZero):
+            return _FZERO
+        if isinstance(arg, FProd):
+            collected.extend(arg.args)
+        elif not isinstance(arg, FOne):
+            collected.append(arg)
+    if not collected:
+        return _FONE
+    if len(collected) == 1:
+        return collected[0]
+    return FProd(tuple(collected))
+
+
+def flatten(expr: Expr) -> FTerm:
+    """Normalise an expression into its flattened canonical form."""
+    if isinstance(expr, Zero):
+        return _FZERO
+    if isinstance(expr, One):
+        return _FONE
+    if isinstance(expr, Symbol):
+        return FSym(expr.name)
+    if isinstance(expr, Sum):
+        return make_sum([flatten(expr.left), flatten(expr.right)])
+    if isinstance(expr, Product):
+        return make_prod([flatten(expr.left), flatten(expr.right)])
+    if isinstance(expr, Star):
+        return FStar(flatten(expr.body))
+    raise TypeError(f"unknown expression node {expr!r}")  # pragma: no cover
+
+
+def unflatten(term: FTerm) -> Expr:
+    """Convert a flattened term back to a binary expression tree."""
+    if isinstance(term, FZero):
+        return Zero()
+    if isinstance(term, FOne):
+        return One()
+    if isinstance(term, FSym):
+        return Symbol(term.name)
+    if isinstance(term, FStar):
+        return Star(unflatten(term.body))
+    if isinstance(term, FProd):
+        return product_of([unflatten(arg) for arg in term.args])
+    if isinstance(term, FSum):
+        return sum_of([unflatten(arg) for arg in term.args])
+    raise TypeError(f"unknown flattened term {term!r}")  # pragma: no cover
+
+
+def ac_equivalent(left: Expr, right: Expr) -> bool:
+    """Equality modulo AC of ``+``, A of ``·``, units and annihilator."""
+    return flatten(left) == flatten(right)
+
+
+# -- matching ---------------------------------------------------------------------
+
+Substitution = Dict[str, FTerm]
+
+
+def _as_factors(term: FTerm) -> Tuple[FTerm, ...]:
+    if isinstance(term, FProd):
+        return term.args
+    if isinstance(term, FOne):
+        return ()
+    return (term,)
+
+
+def _as_summands(term: FTerm) -> Tuple[FTerm, ...]:
+    if isinstance(term, FSum):
+        return term.args
+    if isinstance(term, FZero):
+        return ()
+    return (term,)
+
+
+def match(
+    pattern: FTerm,
+    subject: FTerm,
+    variables: FrozenSet[str],
+    subst: Optional[Substitution] = None,
+) -> Iterator[Substitution]:
+    """Yield every substitution ``σ`` with ``σ(pattern) == subject``.
+
+    ``variables`` names the metavariables of the pattern; other symbols are
+    constants.  Metavariables match non-empty pieces only (a variable is
+    never bound to ``1`` inside a product or ``0`` inside a sum); laws whose
+    application needs a unit instantiation can be applied with an explicit
+    substitution instead (see :meth:`repro.core.proof.Proof.step`).
+    """
+    if subst is None:
+        subst = {}
+    yield from _match(pattern, subject, variables, subst)
+
+
+def _match(
+    pattern: FTerm, subject: FTerm, variables: FrozenSet[str], subst: Substitution
+) -> Iterator[Substitution]:
+    if isinstance(pattern, FSym) and pattern.name in variables:
+        bound = subst.get(pattern.name)
+        if bound is None:
+            extended = dict(subst)
+            extended[pattern.name] = subject
+            yield extended
+        elif bound == subject:
+            yield subst
+        return
+    if isinstance(pattern, (FZero, FOne, FSym)):
+        if pattern == subject:
+            yield subst
+        return
+    if isinstance(pattern, FStar):
+        if isinstance(subject, FStar):
+            yield from _match(pattern.body, subject.body, variables, subst)
+        return
+    if isinstance(pattern, FProd):
+        yield from _match_product(pattern.args, _as_factors(subject), variables, subst)
+        return
+    if isinstance(pattern, FSum):
+        yield from _match_sum(list(pattern.args), list(_as_summands(subject)), variables, subst)
+        return
+    raise TypeError(f"unknown pattern {pattern!r}")  # pragma: no cover
+
+
+def _match_product(
+    pattern_args: Tuple[FTerm, ...],
+    subject_args: Tuple[FTerm, ...],
+    variables: FrozenSet[str],
+    subst: Substitution,
+) -> Iterator[Substitution]:
+    if not pattern_args:
+        if not subject_args:
+            yield subst
+        return
+    head, rest = pattern_args[0], pattern_args[1:]
+    if isinstance(head, FSym) and head.name in variables:
+        bound = subst.get(head.name)
+        if bound is not None:
+            bound_factors = _as_factors(bound)
+            width = len(bound_factors)
+            if subject_args[:width] == bound_factors and width > 0:
+                yield from _match_product(rest, subject_args[width:], variables, subst)
+            return
+        # A free variable takes any non-empty prefix, leaving at least one
+        # factor per remaining mandatory pattern element.
+        max_take = len(subject_args) - _min_width(rest, variables, subst)
+        for take in range(1, max_take + 1):
+            block = make_prod(subject_args[:take])
+            extended = dict(subst)
+            extended[head.name] = block
+            yield from _match_product(rest, subject_args[take:], variables, extended)
+        return
+    if not subject_args:
+        return
+    for inner in _match(head, subject_args[0], variables, subst):
+        yield from _match_product(rest, subject_args[1:], variables, inner)
+
+
+def _min_width(
+    pattern_args: Tuple[FTerm, ...], variables: FrozenSet[str], subst: Substitution
+) -> int:
+    total = 0
+    for arg in pattern_args:
+        if isinstance(arg, FSym) and arg.name in variables and arg.name in subst:
+            total += len(_as_factors(subst[arg.name]))
+        else:
+            total += 1
+    return total
+
+
+def _match_sum(
+    pattern_args: List[FTerm],
+    subject_args: List[FTerm],
+    variables: FrozenSet[str],
+    subst: Substitution,
+) -> Iterator[Substitution]:
+    # Phase 1: bound variables and non-variable elements consume summands.
+    free_vars: List[str] = []
+    deferred: List[FTerm] = []
+    for arg in pattern_args:
+        if isinstance(arg, FSym) and arg.name in variables and arg.name not in subst:
+            free_vars.append(arg.name)
+        else:
+            deferred.append(arg)
+
+    def consume(
+        elements: List[FTerm], remaining: List[FTerm], current: Substitution
+    ) -> Iterator[Tuple[List[FTerm], Substitution]]:
+        if not elements:
+            yield remaining, current
+            return
+        element, rest = elements[0], elements[1:]
+        if isinstance(element, FSym) and element.name in variables:
+            # Bound variable: remove its summands from the remaining multiset.
+            pieces = list(_as_summands(current[element.name]))
+            reduced = _remove_multiset(remaining, pieces)
+            if reduced is not None:
+                yield from consume(rest, reduced, current)
+            return
+        tried: set = set()
+        for index, candidate in enumerate(remaining):
+            if candidate in tried:
+                continue
+            tried.add(candidate)
+            for inner in _match(element, candidate, variables, current):
+                yield from consume(
+                    rest, remaining[:index] + remaining[index + 1:], inner
+                )
+
+    for remaining, current in consume(deferred, list(subject_args), dict(subst)):
+        if not free_vars:
+            if not remaining:
+                yield current
+            continue
+        yield from _distribute(free_vars, remaining, current)
+
+
+def _remove_multiset(pool: List[FTerm], pieces: List[FTerm]) -> Optional[List[FTerm]]:
+    remaining = list(pool)
+    for piece in pieces:
+        if piece in remaining:
+            remaining.remove(piece)
+        else:
+            return None
+    return remaining
+
+
+_MAX_DISTRIBUTIONS = 20000
+
+
+def _distribute(
+    free_vars: List[str], remaining: List[FTerm], subst: Substitution
+) -> Iterator[Substitution]:
+    k, n = len(free_vars), len(remaining)
+    if n < k:
+        return
+    if k == 1:
+        extended = dict(subst)
+        extended[free_vars[0]] = make_sum(remaining)
+        yield extended
+        return
+    if k ** n > _MAX_DISTRIBUTIONS:
+        # Degenerate guard; the laws in this library never hit it.
+        return
+    seen: set = set()
+    for assignment in iter_product(range(k), repeat=n):
+        if len(set(assignment)) != k:
+            continue
+        groups: List[List[FTerm]] = [[] for _ in range(k)]
+        for item, owner in zip(remaining, assignment):
+            groups[owner].append(item)
+        key = tuple(make_sum(group) for group in groups)
+        if key in seen:
+            continue
+        seen.add(key)
+        extended = dict(subst)
+        for var, group_term in zip(free_vars, key):
+            extended[var] = group_term
+        yield extended
+
+
+# -- instantiation ------------------------------------------------------------------
+
+
+def instantiate(pattern: Expr, subst: Substitution, variables: FrozenSet[str]) -> FTerm:
+    """Flatten ``pattern`` with metavariables replaced by their bindings."""
+
+    def walk(node: Expr) -> FTerm:
+        if isinstance(node, Symbol):
+            if node.name in variables:
+                if node.name not in subst:
+                    raise KeyError(f"unbound metavariable {node.name!r}")
+                return subst[node.name]
+            return FSym(node.name)
+        if isinstance(node, Zero):
+            return _FZERO
+        if isinstance(node, One):
+            return _FONE
+        if isinstance(node, Sum):
+            return make_sum([walk(node.left), walk(node.right)])
+        if isinstance(node, Product):
+            return make_prod([walk(node.left), walk(node.right)])
+        if isinstance(node, Star):
+            return FStar(walk(node.body))
+        raise TypeError(f"unknown expression node {node!r}")  # pragma: no cover
+
+    return walk(pattern)
+
+
+# -- occurrence rewriting --------------------------------------------------------------
+
+_Context = Callable[[FTerm], FTerm]
+_MAX_SUM_SUBSETS = 10
+
+
+def _occurrences(term: FTerm) -> Iterator[Tuple[FTerm, _Context]]:
+    """Yield ``(occurrence, rebuild)`` pairs for every rewritable position.
+
+    Occurrences include whole subterms, contiguous slices of products,
+    sub-multisets of sums (so a rule whose left-hand side is a sum of two
+    terms can fire inside a three-summand sum), and *unit gaps* — empty
+    product positions matching ``1``, so that reversed unit hypotheses such
+    as ``1 → u·u⁻¹`` can insert factors anywhere.
+    """
+    yield term, lambda replacement: replacement
+    if not isinstance(term, (FZero, FOne)):
+        factors = _as_factors(term)
+        for gap in range(len(factors) + 1):
+
+            def insert_at(replacement: FTerm, gap=gap, factors=factors) -> FTerm:
+                return make_prod(
+                    list(factors[:gap])
+                    + list(_as_factors(replacement))
+                    + list(factors[gap:])
+                )
+
+            yield _FONE, insert_at
+    if isinstance(term, FStar):
+        for occ, rebuild in _occurrences(term.body):
+            yield occ, (lambda r, rb=rebuild: FStar(rb(r)))
+    elif isinstance(term, FProd):
+        args = term.args
+        n = len(args)
+        for i in range(n):
+            for j in range(i + 1, n + 1):
+                if i == 0 and j == n:
+                    continue  # whole term already yielded
+                slice_term = make_prod(args[i:j])
+
+                def rebuild_slice(replacement: FTerm, i=i, j=j) -> FTerm:
+                    return make_prod(
+                        list(args[:i]) + list(_as_factors(replacement)) + list(args[j:])
+                    )
+
+                if j - i == 1:
+                    # Recurse into the single factor as well.
+                    for occ, rebuild in _occurrences(args[i]):
+                        yield occ, (
+                            lambda r, rb=rebuild, i=i: make_prod(
+                                list(args[:i]) + list(_as_factors(rb(r))) + list(args[i + 1:])
+                            )
+                        )
+                else:
+                    yield slice_term, rebuild_slice
+    elif isinstance(term, FSum):
+        args = term.args
+        n = len(args)
+        for index in range(n):
+            for occ, rebuild in _occurrences(args[index]):
+                yield occ, (
+                    lambda r, rb=rebuild, index=index: make_sum(
+                        list(args[:index]) + [rb(r)] + list(args[index + 1:])
+                    )
+                )
+        if 2 < n <= _MAX_SUM_SUBSETS:
+            for mask in range(1, 1 << n):
+                chosen = [i for i in range(n) if mask >> i & 1]
+                if len(chosen) < 2 or len(chosen) == n:
+                    continue
+                subset = make_sum([args[i] for i in chosen])
+
+                def rebuild_subset(replacement: FTerm, chosen=tuple(chosen)) -> FTerm:
+                    rest = [args[i] for i in range(n) if i not in chosen]
+                    return make_sum(rest + [replacement])
+
+                yield subset, rebuild_subset
+
+
+def rewrite_candidates(
+    subject: FTerm,
+    lhs: Expr,
+    rhs: Expr,
+    variables: FrozenSet[str],
+    limit: int = 100000,
+) -> Iterator[FTerm]:
+    """All terms obtainable by one application of ``lhs → rhs`` in ``subject``."""
+    budget = limit
+    seen: set = set()
+    lhs_flat_pattern = _pattern_flatten(lhs, variables)
+    for occurrence, rebuild in _occurrences(subject):
+        for subst in match(lhs_flat_pattern, occurrence, variables):
+            budget -= 1
+            if budget < 0:
+                return
+            try:
+                replacement = instantiate(rhs, subst, variables)
+            except KeyError:
+                continue  # rhs uses a variable the lhs did not bind
+            result = rebuild(replacement)
+            if result not in seen:
+                seen.add(result)
+                yield result
+
+
+def _pattern_flatten(pattern: Expr, variables: FrozenSet[str]) -> FTerm:
+    """Flatten a pattern (metavariables stay symbolic)."""
+    return flatten(pattern)
+
+
+def reachable_by_rules(
+    start: FTerm,
+    goal: FTerm,
+    rules: Sequence[Tuple[Expr, Expr, FrozenSet[str]]],
+    max_depth: int = 3,
+    max_breadth: int = 2000,
+) -> bool:
+    """Bounded BFS: is ``goal`` reachable from ``start`` using the rules?
+
+    Used to discharge side conditions of conditional laws (e.g. the premise
+    ``pq = qp`` of swap-star) from ground hypotheses; the bounds keep this a
+    cheap, conservative check.
+    """
+    if start == goal:
+        return True
+    frontier = [start]
+    seen = {start}
+    for _ in range(max_depth):
+        next_frontier: List[FTerm] = []
+        for term in frontier:
+            for lhs, rhs, variables in rules:
+                for candidate in rewrite_candidates(term, lhs, rhs, variables, limit=500):
+                    if candidate == goal:
+                        return True
+                    if candidate not in seen and len(seen) < max_breadth:
+                        seen.add(candidate)
+                        next_frontier.append(candidate)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return False

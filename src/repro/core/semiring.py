@@ -1,0 +1,174 @@
+"""The extended natural numbers semiring ``N̄ = N ∪ {∞}`` (paper Def. A.1).
+
+``N̄`` is the coefficient semiring of the formal power series that model NKA
+(Appendix A of the paper).  It is a *complete star semiring*:
+
+* addition and multiplication extend the naturals, with ``0 · ∞ = 0`` (the
+  only non-obvious case) and ``n · ∞ = ∞`` for ``n ≥ 1``;
+* the star is ``0* = 1`` and ``n* = ∞`` for ``n ≥ 1`` (the geometric series
+  ``Σ_k n^k`` diverges as soon as ``n ≥ 1``);
+* countable sums are well defined: a countable sum is ``∞`` exactly when one
+  summand is ``∞`` or infinitely many summands are non-zero.
+
+The class :class:`ExtNat` is an immutable value type; module-level constants
+:data:`ZERO`, :data:`ONE` and :data:`INF` cover the common cases.  Arithmetic
+accepts plain ``int`` operands for convenience, so ``ExtNat(2) + 3`` works.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+__all__ = ["ExtNat", "ZERO", "ONE", "INF", "ext_sum", "ext_prod"]
+
+_IntLike = Union["ExtNat", int]
+
+
+class ExtNat:
+    """An element of the extended naturals ``N ∪ {∞}``.
+
+    The value is stored as a non-negative ``int`` or ``None`` for infinity.
+    Instances are immutable and hashable, and compare with the natural total
+    order in which ``∞`` is the top element.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[int, None, "ExtNat"] = 0):
+        if isinstance(value, ExtNat):
+            self._value = value._value
+            return
+        if value is not None:
+            if not isinstance(value, int):
+                raise TypeError(f"ExtNat expects int or None, got {value!r}")
+            if value < 0:
+                raise ValueError(f"ExtNat must be non-negative, got {value}")
+        self._value = value
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def infinity() -> "ExtNat":
+        """The top element ``∞``."""
+        return ExtNat(None)
+
+    @staticmethod
+    def of(value: _IntLike) -> "ExtNat":
+        """Coerce an ``int`` (or ``ExtNat``) to :class:`ExtNat`."""
+        if isinstance(value, ExtNat):
+            return value
+        return ExtNat(value)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_infinite(self) -> bool:
+        return self._value is None
+
+    @property
+    def is_finite(self) -> bool:
+        return self._value is not None
+
+    @property
+    def is_zero(self) -> bool:
+        return self._value == 0
+
+    @property
+    def finite_value(self) -> int:
+        """The underlying ``int``; raises on ``∞``."""
+        if self._value is None:
+            raise ValueError("infinite ExtNat has no finite value")
+        return self._value
+
+    # -- semiring operations ----------------------------------------------
+
+    def __add__(self, other: _IntLike) -> "ExtNat":
+        other = ExtNat.of(other)
+        if self.is_infinite or other.is_infinite:
+            return INF
+        return ExtNat(self._value + other._value)
+
+    __radd__ = __add__
+
+    def __mul__(self, other: _IntLike) -> "ExtNat":
+        other = ExtNat.of(other)
+        # 0 annihilates even infinity: 0 · ∞ = 0 (Def. A.1).
+        if self.is_zero or other.is_zero:
+            return ZERO
+        if self.is_infinite or other.is_infinite:
+            return INF
+        return ExtNat(self._value * other._value)
+
+    __rmul__ = __mul__
+
+    def star(self) -> "ExtNat":
+        """Kleene star: ``0* = 1`` and ``n* = ∞`` for ``n ≥ 1``."""
+        if self.is_zero:
+            return ONE
+        return INF
+
+    # -- order and equality -------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            other = ExtNat(other)
+        if not isinstance(other, ExtNat):
+            return NotImplemented
+        return self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash(("ExtNat", self._value))
+
+    def __le__(self, other: _IntLike) -> bool:
+        other = ExtNat.of(other)
+        if other.is_infinite:
+            return True
+        if self.is_infinite:
+            return False
+        return self._value <= other._value
+
+    def __lt__(self, other: _IntLike) -> bool:
+        other = ExtNat.of(other)
+        return self <= other and self != other
+
+    def __ge__(self, other: _IntLike) -> bool:
+        return ExtNat.of(other) <= self
+
+    def __gt__(self, other: _IntLike) -> bool:
+        return ExtNat.of(other) < self
+
+    # -- display -------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"ExtNat({'∞' if self.is_infinite else self._value})"
+
+    def __str__(self) -> str:
+        return "∞" if self.is_infinite else str(self._value)
+
+
+ZERO = ExtNat(0)
+ONE = ExtNat(1)
+INF = ExtNat.infinity()
+
+
+def ext_sum(values: Iterable[_IntLike]) -> ExtNat:
+    """Sum of finitely many extended naturals.
+
+    (The genuinely *countable* sums of Def. A.1 arise in this library only
+    through the star operation and through weighted-automaton path sums,
+    both of which reduce to finite computations plus :meth:`ExtNat.star`.)
+    """
+    total = ZERO
+    for value in values:
+        total = total + ExtNat.of(value)
+    return total
+
+
+def ext_prod(values: Iterable[_IntLike]) -> ExtNat:
+    """Product of finitely many extended naturals."""
+    total = ONE
+    for value in values:
+        total = total * ExtNat.of(value)
+        if total.is_zero:
+            return ZERO
+    return total

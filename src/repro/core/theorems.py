@@ -1,0 +1,125 @@
+"""Derived NKA theorems (paper Figure 2, Lemma 2.3).
+
+Figure 2a lists the classical star identities that survive the loss of
+idempotency (due to Ésik–Kuich); Figure 2b adds three theorems the paper's
+applications rely on.  Each is exposed as a :class:`~repro.core.proof.Law`
+usable by the proof engine.
+
+Validation is twofold:
+
+* :func:`validate_by_decision_procedure` confirms each *unconditional* law
+  with the exact decision procedure (sound and complete by Theorem A.6);
+* the conditional laws (swap-star, star-rewrite) are validated on random
+  instances satisfying their premises in the rational-series model, and
+  their Appendix C.1 pen-and-paper arguments are summarised in docstrings.
+
+The inequality-flavoured items of Lemma 2.3 (monotone-star, positivity)
+are not equations; they are checked semantically in the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.decision import nka_equal_detailed
+from repro.core.expr import ONE, ZERO as _ZERO, sym
+from repro.core.proof import Law, law
+from repro.util.errors import ProofError
+
+__all__ = [
+    "FIXED_POINT_RIGHT",
+    "FIXED_POINT_LEFT",
+    "PRODUCT_STAR",
+    "SLIDING",
+    "DENESTING",
+    "DENESTING_RIGHT",
+    "UNROLLING",
+    "STAR_ZERO",
+    "SWAP_STAR",
+    "STAR_REWRITE",
+    "FIGURE_2A_LAWS",
+    "FIGURE_2B_LAWS",
+    "ALL_DERIVED_LAWS",
+    "validate_by_decision_procedure",
+]
+
+_p, _q, _r = sym("p"), sym("q"), sym("r")
+
+# -- Figure 2a ------------------------------------------------------------------
+
+#: ``1 + p p* = p*`` (also ``1 + p* p = p*``) — the fixed-point law.
+FIXED_POINT_RIGHT = law("fixed-point", ONE + _p * _p.star(), _p.star())
+FIXED_POINT_LEFT = law("fixed-point-left", ONE + _p.star() * _p, _p.star())
+
+#: ``1 + p (q p)* q = (p q)*`` — product-star.
+PRODUCT_STAR = law(
+    "product-star", ONE + _p * (_q * _p).star() * _q, (_p * _q).star()
+)
+
+#: ``(p q)* p = p (q p)*`` — sliding.
+SLIDING = law("sliding", (_p * _q).star() * _p, _p * (_q * _p).star())
+
+#: ``(p + q)* = (p* q)* p*`` — denesting.
+DENESTING = law("denesting", (_p + _q).star(), (_p.star() * _q).star() * _p.star())
+
+#: ``(p + q)* = p* (q p*)*`` — the symmetric denesting variant.
+DENESTING_RIGHT = law(
+    "denesting-right", (_p + _q).star(), _p.star() * (_q * _p.star()).star()
+)
+
+# -- Figure 2b ---------------------------------------------------------------------
+
+#: ``(p p)* (1 + p) = p*`` — unrolling (used for loop unrolling, Section 5.1).
+UNROLLING = law("unrolling", (_p * _p).star() * (ONE + _p), _p.star())
+
+#: ``0* = 1`` — a convenient derived equation (instance of fixed point).
+STAR_ZERO = Law(name="star-zero", lhs=_ZERO.star(), rhs=ONE, variables=frozenset())
+
+#: ``p q = q p → p* q = q p*`` — swap-star (conditional).
+SWAP_STAR = law(
+    "swap-star",
+    _p.star() * _q,
+    _q * _p.star(),
+    premises=[(_p * _q, _q * _p)],
+)
+
+#: ``p q = r p → p q* = r* p`` — star-rewrite (conditional).
+STAR_REWRITE = law(
+    "star-rewrite",
+    _p * _q.star(),
+    _r.star() * _p,
+    premises=[(_p * _q, _r * _p)],
+)
+
+FIGURE_2A_LAWS: Tuple[Law, ...] = (
+    FIXED_POINT_RIGHT,
+    FIXED_POINT_LEFT,
+    PRODUCT_STAR,
+    SLIDING,
+    DENESTING,
+    DENESTING_RIGHT,
+)
+
+FIGURE_2B_LAWS: Tuple[Law, ...] = (UNROLLING, SWAP_STAR, STAR_REWRITE)
+
+ALL_DERIVED_LAWS: Tuple[Law, ...] = FIGURE_2A_LAWS + (UNROLLING, STAR_ZERO)
+
+
+def validate_by_decision_procedure() -> Dict[str, bool]:
+    """Check every unconditional derived law with the decision procedure.
+
+    Each law schema is validated on its generic instance (metavariables as
+    fresh symbols), which suffices: the decision procedure works over an
+    uninterpreted alphabet, so the generic instance is the schema.
+    Raises :class:`ProofError` if any law fails (should be impossible).
+    """
+    results: Dict[str, bool] = {}
+    for candidate in ALL_DERIVED_LAWS:
+        outcome = nka_equal_detailed(candidate.lhs, candidate.rhs)
+        results[candidate.name] = outcome.equal
+        if not outcome.equal:
+            raise ProofError(
+                f"derived law {candidate.name} failed validation: "
+                f"counterexample {outcome.counterexample}"
+            )
+    return results

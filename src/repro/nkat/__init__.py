@@ -1,0 +1,54 @@
+"""NKAT: non-idempotent Kleene algebra with tests (paper Section 7)."""
+
+from repro.nkat.algebra import NKATContext, TOP_EFFECT
+from repro.nkat.effects import (
+    Effect,
+    check_effect_algebra_laws,
+    constant_superoperator,
+    lifted_predicate,
+)
+from repro.nkat.hoare import (
+    HoareTriple,
+    check_encoded_triple,
+    encode_triple,
+    hoare_partial_valid,
+    wlp,
+)
+from repro.nkat.partitions import (
+    Partition,
+    check_partition_laws,
+    partition_of_measurement,
+)
+from repro.nkat.phl import (
+    derive_all_rules,
+    derive_ax_ab,
+    derive_ax_sk,
+    derive_r_if,
+    derive_r_lp,
+    derive_r_or,
+    derive_r_sc,
+)
+
+__all__ = [
+    "Effect",
+    "constant_superoperator",
+    "lifted_predicate",
+    "check_effect_algebra_laws",
+    "Partition",
+    "partition_of_measurement",
+    "check_partition_laws",
+    "NKATContext",
+    "TOP_EFFECT",
+    "HoareTriple",
+    "hoare_partial_valid",
+    "wlp",
+    "encode_triple",
+    "check_encoded_triple",
+    "derive_all_rules",
+    "derive_ax_sk",
+    "derive_ax_ab",
+    "derive_r_or",
+    "derive_r_if",
+    "derive_r_sc",
+    "derive_r_lp",
+]

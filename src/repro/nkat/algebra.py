@@ -1,0 +1,127 @@
+"""The symbolic NKAT layer: effect symbols, negation, derived rules.
+
+NKAT extends NKA with a sort of *effect* symbols (``L``) and a set of
+*partitions* (``N``); see Definition 7.4.  Symbolically we track:
+
+* an involutive negation on effect symbol names (``a ↔ a_neg``) with the
+  distinguished top effect ``e``;
+* declared partitions — tuples of symbols ``(m_i)`` standing for dual
+  measurement branches.
+
+From these, :class:`NKATContext` generates the *ground* law instances used
+by inequality proofs (:mod:`repro.core.order`):
+
+* Lemma 7.7(1): ``0 ≤ a ≤ e``;
+* Lemma 7.7(2): ``a + ā = e``;
+* Lemma 7.7(3): involution ``ā̄ = a`` (structural, by the name map);
+* Lemma 7.7(4) (negation-reverse): from ``a ≤ b`` conclude ``b̄ ≤ ā``;
+* Lemma 7.7(5) (partition-transform):
+  ``negation(Σ_i m_i a_i) = Σ_i m_i ā_i``, and its special case
+  ``Σ_i m_i e = e`` (Definition 7.4(3b)).
+
+The replayed derivations of Lemma 7.7 and Theorem 7.8 live in
+:mod:`repro.nkat.phl`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.expr import Expr, ONE, Symbol, ZERO, sum_of
+from repro.core.order import Inequation
+from repro.core.proof import Equation
+from repro.util.errors import EffectAlgebraError
+
+__all__ = ["NKATContext", "TOP_EFFECT"]
+
+TOP_EFFECT = Symbol("e")
+
+
+@dataclass
+class NKATContext:
+    """Symbol-level bookkeeping for an NKAT signature."""
+
+    negations: Dict[str, str] = field(default_factory=dict)
+    partitions: List[Tuple[Symbol, ...]] = field(default_factory=list)
+
+    def declare_effect(self, name: str, negation_name: Optional[str] = None) -> Tuple[Symbol, Symbol]:
+        """Declare an effect symbol and its negation; returns ``(a, ā)``."""
+        if negation_name is None:
+            negation_name = f"{name}__neg"
+        self.negations[name] = negation_name
+        self.negations[negation_name] = name
+        return Symbol(name), Symbol(negation_name)
+
+    def negate(self, effect: Symbol) -> Symbol:
+        """``ā`` for a declared effect symbol (``ē = 0`` is handled by laws)."""
+        if effect.name not in self.negations:
+            raise EffectAlgebraError(f"{effect.name!r} is not a declared effect")
+        return Symbol(self.negations[effect.name])
+
+    def is_effect(self, name: str) -> bool:
+        return name in self.negations or name == TOP_EFFECT.name
+
+    def declare_partition(self, symbols: Sequence[Symbol]) -> Tuple[Symbol, ...]:
+        partition = tuple(symbols)
+        self.partitions.append(partition)
+        return partition
+
+    # -- ground law instances -------------------------------------------------------
+
+    def law_positivity(self, effect: Symbol) -> Inequation:
+        """``0 ≤ a`` (Lemma 7.7(1), lower half)."""
+        self._require_effect(effect)
+        return Inequation(ZERO, effect, name=f"0≤{effect}")
+
+    def law_bounded(self, effect: Symbol) -> Inequation:
+        """``a ≤ e`` (Lemma 7.7(1), upper half)."""
+        self._require_effect(effect)
+        return Inequation(effect, TOP_EFFECT, name=f"{effect}≤e")
+
+    def law_complement(self, effect: Symbol) -> Equation:
+        """``a + ā = e`` (Lemma 7.7(2))."""
+        self._require_effect(effect)
+        return Equation(effect + self.negate(effect), TOP_EFFECT, name=f"{effect}+neg=e")
+
+    def law_negation_reverse(self, smaller: Symbol, larger: Symbol) -> Inequation:
+        """Given the *assumption* ``smaller ≤ larger``: ``larger̄ ≤ smaller̄``.
+
+        Lemma 7.7(4) — the caller is responsible for the assumption (it
+        appears among the Horn premises of the rule being derived).
+        """
+        self._require_effect(smaller)
+        self._require_effect(larger)
+        return Inequation(
+            self.negate(larger),
+            self.negate(smaller),
+            name=f"neg({larger})≤neg({smaller})",
+        )
+
+    def law_partition_transform(
+        self, partition: Sequence[Symbol], effects: Sequence[Symbol]
+    ) -> Equation:
+        """``Σ_i m_i ā_i = negation(Σ_i m_i a_i)`` … as the ground equation
+
+        ``Σ_i m_i ā_i + Σ_i m_i a_i = e`` is the form used in derivations
+        (via Lemma 7.7(2) for the composite effect); we expose the direct
+        exchange equation between the two weighted sums where one side's
+        effects are negated, Lemma 7.7(5):
+        ``Σ_i m_i a_i  +  Σ_i m_i ā_i = e``.
+        """
+        if len(partition) != len(effects):
+            raise EffectAlgebraError("one effect per partition entry required")
+        for effect in effects:
+            self._require_effect(effect)
+        plain = sum_of([m * a for m, a in zip(partition, effects)])
+        negated = sum_of([m * self.negate(a) for m, a in zip(partition, effects)])
+        return Equation(plain + negated, TOP_EFFECT, name="partition-transform")
+
+    def law_partition_top(self, partition: Sequence[Symbol]) -> Equation:
+        """``Σ_i m_i e = e`` (Definition 7.4(3b), the POVM completeness)."""
+        total = sum_of([m * TOP_EFFECT for m in partition])
+        return Equation(total, TOP_EFFECT, name="partition-top")
+
+    def _require_effect(self, effect: Symbol) -> None:
+        if not self.is_effect(effect.name):
+            raise EffectAlgebraError(f"{effect.name!r} is not a declared effect")

@@ -1,0 +1,164 @@
+"""Quantum predicates / effects and their algebra (paper Section 7.1).
+
+A quantum predicate (effect) is a PSD operator ``A`` with ``‖A‖ ≤ 1``
+(D'Hondt–Panangaden); its negation is ``Ā = I − A``.  Effects form an
+*effect algebra* ``(L, ⊕, 0, e)`` (Definition 7.1) under the partial sum
+``A ⊕ B`` defined when ``A + B`` is still an effect.
+
+In the quantum path model, the predicate ``A`` is represented by the lifted
+constant superoperator ``⟨C_A⟩↑`` with ``C_A(ρ) = tr(ρ)·A``
+(Definition 7.2); Lemma 7.3 states these form an effect subalgebra of
+``P(H)`` with negation ``⟨C_A⟩↑ = ⟨C_Ā⟩↑``.  :func:`check_effect_algebra_laws`
+verifies the five Definition 7.1 clauses on concrete effects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.pathmodel.action import LiftedAction
+from repro.pathmodel.lifting import lift
+from repro.quantum.operators import (
+    is_positive_semidefinite,
+    loewner_leq,
+    operator_close,
+)
+from repro.quantum.superoperator import Superoperator
+from repro.util.errors import EffectAlgebraError, UndefinedOperationError
+
+__all__ = [
+    "Effect",
+    "constant_superoperator",
+    "lifted_predicate",
+    "check_effect_algebra_laws",
+]
+
+
+class Effect:
+    """A quantum predicate: PSD with operator norm at most 1."""
+
+    def __init__(self, matrix: np.ndarray, atol: float = 1e-8):
+        matrix = np.asarray(matrix, dtype=complex)
+        if not is_positive_semidefinite(matrix, atol=atol):
+            raise EffectAlgebraError("an effect must be positive semidefinite")
+        top = np.eye(matrix.shape[0], dtype=complex)
+        if not loewner_leq(matrix, top, atol=atol):
+            raise EffectAlgebraError("an effect must satisfy A ⊑ I")
+        self.matrix = matrix
+        self.dim = matrix.shape[0]
+        self.atol = atol
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def zero(dim: int) -> "Effect":
+        return Effect(np.zeros((dim, dim), dtype=complex))
+
+    @staticmethod
+    def top(dim: int) -> "Effect":
+        """The unit effect ``e = I_H``."""
+        return Effect(np.eye(dim, dtype=complex))
+
+    @staticmethod
+    def projector_onto(ket: np.ndarray) -> "Effect":
+        ket = np.asarray(ket, dtype=complex).reshape(-1)
+        ket = ket / np.linalg.norm(ket)
+        return Effect(np.outer(ket, ket.conj()))
+
+    # -- effect algebra ----------------------------------------------------------------
+
+    def negation(self) -> "Effect":
+        """``Ā = I − A``."""
+        return Effect(np.eye(self.dim, dtype=complex) - self.matrix)
+
+    def oplus_defined(self, other: "Effect") -> bool:
+        total = self.matrix + other.matrix
+        return loewner_leq(total, np.eye(self.dim, dtype=complex), atol=self.atol)
+
+    def oplus(self, other: "Effect") -> "Effect":
+        """The partial sum ``A ⊕ B``; raises when undefined."""
+        if self.dim != other.dim:
+            raise EffectAlgebraError("dimension mismatch in ⊕")
+        if not self.oplus_defined(other):
+            raise UndefinedOperationError("A ⊕ B undefined: A + B ⋢ I")
+        return Effect(self.matrix + other.matrix)
+
+    def leq(self, other: "Effect") -> bool:
+        return loewner_leq(self.matrix, other.matrix, atol=self.atol)
+
+    def equals(self, other: "Effect", atol: float = 1e-8) -> bool:
+        return operator_close(self.matrix, other.matrix, atol=atol)
+
+    def expectation(self, rho: np.ndarray) -> float:
+        """``tr(A ρ)`` — the probability weight of the predicate on ρ."""
+        return float(np.trace(self.matrix @ np.asarray(rho, dtype=complex)).real)
+
+    def __repr__(self) -> str:
+        return f"Effect(dim={self.dim})"
+
+
+def constant_superoperator(effect: Effect) -> Superoperator:
+    """``C_A(ρ) = tr(ρ)·A`` (Definition 7.2)."""
+    return Superoperator.constant(effect.matrix)
+
+
+def lifted_predicate(effect: Effect) -> LiftedAction:
+    """``⟨C_A⟩↑ ∈ PPred(H)`` — the path-model form of the predicate."""
+    return lift(constant_superoperator(effect))
+
+
+def check_effect_algebra_laws(
+    effects: Sequence[Effect], atol: float = 1e-7
+) -> Dict[str, bool]:
+    """Verify Definition 7.1's clauses on the given sample of effects.
+
+    Also checks Lemma 7.3's negation law at the lifted level:
+    ``⟨C_A⟩↑ ⊕ ⟨C_Ā⟩↑ = ⟨C_I⟩↑`` as superoperators.
+    """
+    if not effects:
+        raise ValueError("need at least one effect to check")
+    dim = effects[0].dim
+    top = Effect.top(dim)
+    zero = Effect.zero(dim)
+    results = {
+        "commutative": True,
+        "associative": True,
+        "top-cancellation": True,
+        "unique-negation": True,
+        "zero-unit": True,
+        "lifted-negation": True,
+    }
+    for a in effects:
+        # 5. 0 ⊕ a = a.
+        if not zero.oplus(a).equals(a, atol=atol):
+            results["zero-unit"] = False
+        # 4. a ⊕ ā = e, and the negation is the unique such element.
+        if not a.oplus(a.negation()).equals(top, atol=atol):
+            results["unique-negation"] = False
+        # 3. a ⊕ e defined ⟹ a = 0.
+        if a.oplus_defined(top) and not a.equals(zero, atol=atol):
+            results["top-cancellation"] = False
+        # Lemma 7.3: lifted negation agrees.
+        lifted_neg = lifted_predicate(a.negation()).superop
+        direct = constant_superoperator(a.negation())
+        if not lifted_neg.equals(direct, atol=atol):
+            results["lifted-negation"] = False
+        for b in effects:
+            if a.oplus_defined(b):
+                if not b.oplus_defined(a):
+                    results["commutative"] = False
+                elif not a.oplus(b).equals(b.oplus(a), atol=atol):
+                    results["commutative"] = False
+            for c in effects:
+                # 2. If a ⊕ b and (a ⊕ b) ⊕ c are defined, then b ⊕ c and
+                #    a ⊕ (b ⊕ c) are defined and the two bracketings agree.
+                if a.oplus_defined(b) and a.oplus(b).oplus_defined(c):
+                    if not (
+                        b.oplus_defined(c)
+                        and a.oplus_defined(b.oplus(c))
+                        and a.oplus(b).oplus(c).equals(a.oplus(b.oplus(c)), atol=atol)
+                    ):
+                        results["associative"] = False
+    return results

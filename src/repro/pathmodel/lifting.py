@@ -1,0 +1,79 @@
+"""Path lifting ``⟨E⟩↑`` and the embedding ``QC(H) ↪ P(H)`` (Section 3.4).
+
+Lemma 3.8 states the lifting (i) lands in ``P(H)``, (ii) is injective, and
+(iii) preserves composition and (defined) sums.  :func:`lift` constructs the
+lifted action; the ``check_lemma_3_8_*`` helpers verify each clause
+numerically on given superoperators — they are exercised by the test suite
+and the Figure 3 soundness bench.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.pathmodel.action import LiftedAction, PathAction, action_equal
+from repro.pathmodel.extended_positive import ExtendedPositive
+from repro.quantum.operators import psd_spanning_family
+from repro.quantum.superoperator import Superoperator
+
+__all__ = [
+    "lift",
+    "check_lemma_3_8_linearity",
+    "check_lemma_3_8_injective",
+    "check_lemma_3_8_homomorphism",
+]
+
+
+def lift(superop: Superoperator) -> LiftedAction:
+    """``⟨E⟩↑ : Σ_i [ρ_i] ↦ Σ_i [E(ρ_i)]`` (Definition 3.7)."""
+    return LiftedAction(superop)
+
+
+def check_lemma_3_8_linearity(superop: Superoperator, atol: float = 1e-8) -> bool:
+    """Clause (i): the lifted action is linear and monotone on probes.
+
+    Linearity: ``⟨E⟩↑([ρ] + [σ]) = ⟨E⟩↑([ρ]) + ⟨E⟩↑([σ])``.
+    Monotonicity: ``[ρ] ≤ [ρ + σ] ⟹ ⟨E⟩↑([ρ]) ≤ ⟨E⟩↑([ρ + σ])``.
+    """
+    action = lift(superop)
+    family = psd_spanning_family(superop.dim)
+    for rho in family[: superop.dim + 2]:
+        for sigma in family[: superop.dim + 2]:
+            left = action.apply(ExtendedPositive.of(rho + sigma))
+            right = action.apply(ExtendedPositive.of(rho)) + action.apply(
+                ExtendedPositive.of(sigma)
+            )
+            if not left.equals(right, atol=atol):
+                return False
+            smaller = action.apply(ExtendedPositive.of(rho))
+            if not smaller.leq(left, atol=atol):
+                return False
+    return True
+
+
+def check_lemma_3_8_injective(
+    first: Superoperator, second: Superoperator, atol: float = 1e-8
+) -> bool:
+    """Clause (ii): ``E1 = E2 ⟺ ⟨E1⟩↑ = ⟨E2⟩↑`` for the given pair."""
+    as_superops = first.equals(second, atol=atol)
+    as_actions = action_equal(lift(first), lift(second), atol=atol)
+    return as_superops == as_actions
+
+
+def check_lemma_3_8_homomorphism(
+    first: Superoperator, second: Superoperator, atol: float = 1e-8
+) -> bool:
+    """Clause (iii): lifting preserves ``∘`` (as ``;``) and binary sums.
+
+    The binary-sum check requires ``E1 + E2`` trace-non-increasing, which
+    callers arrange (e.g. two branches of one measurement).
+    """
+    composed = action_equal(
+        lift(first).then(lift(second)), lift(first.then(second)), atol=atol
+    )
+    summed = action_equal(
+        lift(first) + lift(second), lift(first + second), atol=atol
+    )
+    return composed and summed

@@ -1,0 +1,123 @@
+"""Soundness of the NKA axioms in the quantum path model (Theorem 3.6).
+
+``(P(H), +, ;, *, ⪯, O_H, I_H)`` satisfies the NKA axioms.  The functions
+here verify each axiom group *numerically* on concrete path actions (built
+from random superoperators by the callers): semiring equations, order laws,
+the star-unfold law and the two star-induction Horn rules.  They power the
+FIG3 bench and the property-based tests.
+
+A ``True`` result is evidence on the sampled actions/probes; the theorem
+itself guarantees it holds always — these checks guard the *implementation*
+of the model, not the theorem.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.pathmodel.action import (
+    PathAction,
+    action_equal,
+    action_leq,
+    identity_action,
+    standard_probes,
+    zero_action,
+)
+from repro.pathmodel.extended_positive import ExtendedPositive
+
+__all__ = ["check_semiring_axioms", "check_star_axioms", "check_order_axioms"]
+
+
+def check_semiring_axioms(
+    p: PathAction, q: PathAction, r: PathAction, atol: float = 1e-7
+) -> Dict[str, bool]:
+    """All Fig. 3 semiring equations on the given actions."""
+    dim = p.dim
+    one = identity_action(dim)
+    zero = zero_action(dim)
+    probes = standard_probes(dim)
+
+    def eq(left: PathAction, right: PathAction) -> bool:
+        return action_equal(left, right, probes=probes, atol=atol)
+
+    return {
+        "add-assoc": eq(p + (q + r), (p + q) + r),
+        "add-comm": eq(p + q, q + p),
+        "add-unit": eq(p + zero, p),
+        "mul-assoc": eq(p.then(q.then(r)), (p.then(q)).then(r)),
+        "mul-unit-left": eq(one.then(p), p),
+        "mul-unit-right": eq(p.then(one), p),
+        "annihilate-left": eq(zero.then(p), zero),
+        "annihilate-right": eq(p.then(zero), zero),
+        "distrib-left": eq(p.then(q + r), p.then(q) + p.then(r)),
+        "distrib-right": eq((p + q).then(r), p.then(r) + q.then(r)),
+    }
+
+
+def check_star_axioms(
+    p: PathAction,
+    q: PathAction,
+    r: PathAction,
+    atol: float = 1e-6,
+) -> Dict[str, bool]:
+    """The star laws of Fig. 3 on the given actions.
+
+    * unfold: ``1 + p p* = p*`` (the paper derives equality; we check it);
+    * induction-left: if ``q + p;r ⪯ r`` then ``p*;q ⪯ r``;
+    * induction-right: if ``q + r;p ⪯ r`` then ``q;p* ⪯ r``.
+
+    The induction rules are Horn clauses: when the premise fails on the
+    sample they are vacuously true.
+    """
+    dim = p.dim
+    one = identity_action(dim)
+    probes = standard_probes(dim)
+    results: Dict[str, bool] = {}
+
+    unfold_left = one + p.then(p.star())
+    results["star-unfold"] = action_leq(unfold_left, p.star(), probes=probes, atol=atol)
+    results["star-unfold-eq"] = action_equal(
+        unfold_left, p.star(), probes=probes, atol=atol
+    )
+
+    premise_left = action_leq(q + p.then(r), r, probes=probes, atol=atol)
+    if premise_left:
+        results["star-induction-left"] = action_leq(
+            p.star().then(q), r, probes=probes, atol=atol
+        )
+    else:
+        results["star-induction-left"] = True
+
+    premise_right = action_leq(q + r.then(p), r, probes=probes, atol=atol)
+    if premise_right:
+        results["star-induction-right"] = action_leq(
+            q.then(p.star()), r, probes=probes, atol=atol
+        )
+    else:
+        results["star-induction-right"] = True
+    return results
+
+
+def check_order_axioms(
+    p: PathAction, q: PathAction, r: PathAction, s: PathAction, atol: float = 1e-7
+) -> Dict[str, bool]:
+    """Partial-order laws: reflexivity, antisymmetry-ish, monotonicity."""
+    probes = standard_probes(p.dim)
+    results: Dict[str, bool] = {}
+    results["refl"] = action_leq(p, p, probes=probes, atol=atol)
+    p_leq_q = action_leq(p, q, probes=probes, atol=atol)
+    q_leq_p = action_leq(q, p, probes=probes, atol=atol)
+    if p_leq_q and q_leq_p:
+        results["antisym"] = action_equal(p, q, probes=probes, atol=atol)
+    else:
+        results["antisym"] = True
+    r_leq_s = action_leq(r, s, probes=probes, atol=atol)
+    if p_leq_q and r_leq_s:
+        results["add-monotone"] = action_leq(p + r, q + s, probes=probes, atol=atol)
+        results["mul-monotone"] = action_leq(
+            p.then(r), q.then(s), probes=probes, atol=atol
+        )
+    else:
+        results["add-monotone"] = True
+        results["mul-monotone"] = True
+    return results

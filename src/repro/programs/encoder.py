@@ -1,0 +1,176 @@
+"""The program encoder ``Enc`` (paper Definition 4.4).
+
+An *encoder setting* assigns a unique NKA symbol to every elementary
+superoperator appearing in the target programs: register resets, unitary
+applications and measurement branches.  ``Enc`` then maps programs to
+expressions::
+
+    Enc(skip) = 1                Enc(abort) = 0
+    Enc(q := |0⟩) = E(⟦q := |0⟩⟧)
+    Enc(q := U[q]) = E(⟦q := U[q]⟧)
+    Enc(P1; P2) = Enc(P1) · Enc(P2)
+    Enc(case M →_i P_i end) = Σ_i E(M_i) · Enc(P_i)
+    Enc(while M = 1 do P done) = (E(M_1) · Enc(P))* · E(M_0)
+
+The setting doubles as the inverse mapping ``E⁻¹`` used to build the
+interpretation of Theorem 4.5: it remembers the concrete superoperator on
+the setting's space for every symbol it mints
+(:meth:`EncoderSetting.interpretation_map`).
+
+Symbols are minted deterministically from statement labels when available
+(so encodings read like the paper: ``m0``, ``m1``, ``u``, …) and from
+structural keys otherwise; the *same* statement always receives the same
+symbol, which is what makes jointly encoding several programs for
+comparison sound (the paper's "we usually define the encoder setting E
+jointly for multiple programs").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.expr import Expr, ONE, Symbol, ZERO, product_of, sum_of
+from repro.programs.semantics import (
+    assign_superoperator,
+    denotation,
+    init_superoperator,
+    stateprep_superoperator,
+)
+from repro.programs.syntax import (
+    Abort,
+    Assign,
+    Case,
+    Init,
+    Program,
+    Seq,
+    Skip,
+    StatePrep,
+    Unitary,
+    While,
+)
+from repro.quantum.hilbert import Space
+from repro.quantum.superoperator import Superoperator
+from repro.util.errors import EncodingError
+
+__all__ = ["EncoderSetting", "encode"]
+
+
+class EncoderSetting:
+    """Mints symbols for elementary superoperators over a fixed space."""
+
+    def __init__(self, space: Space):
+        self.space = space
+        self._by_key: Dict[object, Symbol] = {}
+        self._superops: Dict[str, Superoperator] = {}
+        self._counter = 0
+
+    # -- symbol management -------------------------------------------------------
+
+    def symbol_for(
+        self, key: object, superop: Superoperator, preferred: Optional[str] = None
+    ) -> Symbol:
+        """The unique symbol for ``key``, minting one on first use."""
+        if key in self._by_key:
+            return self._by_key[key]
+        name = self._fresh_name(preferred)
+        symbol = Symbol(name)
+        self._by_key[key] = symbol
+        self._superops[name] = superop
+        return symbol
+
+    def _fresh_name(self, preferred: Optional[str]) -> str:
+        if preferred and preferred not in self._superops:
+            return preferred
+        base = preferred or "s"
+        while True:
+            self._counter += 1
+            candidate = f"{base}{self._counter}"
+            if candidate not in self._superops:
+                return candidate
+
+    def superoperator(self, name: str) -> Superoperator:
+        """``E⁻¹``: the elementary superoperator behind a symbol name."""
+        if name not in self._superops:
+            raise EncodingError(f"symbol {name!r} was not minted by this setting")
+        return self._superops[name]
+
+    def interpretation_map(self) -> Dict[str, Superoperator]:
+        """The full ``eval`` function for Theorem 4.5's interpretation."""
+        return dict(self._superops)
+
+    # -- statement keys -----------------------------------------------------------------
+
+    def _init_symbol(self, statement: Init) -> Symbol:
+        key = ("init", statement.registers)
+        superop = init_superoperator(self.space, statement.registers)
+        preferred = statement.label or f"{'_'.join(statement.registers)}0"
+        return self.symbol_for(key, superop, preferred)
+
+    def _assign_symbol(self, statement: Assign) -> Symbol:
+        key = ("assign", statement.register, statement.value)
+        superop = assign_superoperator(self.space, statement.register, statement.value)
+        preferred = statement.label or f"{statement.register}{statement.value}"
+        return self.symbol_for(key, superop, preferred)
+
+    def _stateprep_symbol(self, statement: StatePrep) -> Symbol:
+        key = ("stateprep", statement.register, statement.state.tobytes())
+        superop = stateprep_superoperator(self.space, statement.register, statement.state)
+        preferred = statement.label or f"{statement.register}_prep"
+        return self.symbol_for(key, superop, preferred)
+
+    def _unitary_symbol(self, statement: Unitary) -> Symbol:
+        key = ("unitary", statement.registers, statement.matrix.tobytes())
+        embedded = self.space.embed(statement.matrix, list(statement.registers))
+        superop = Superoperator.unitary(embedded)
+        return self.symbol_for(key, superop, statement.label)
+
+    def branch_symbol(
+        self, measurement, registers: Tuple[str, ...], outcome: object,
+        label: Optional[str] = None,
+    ) -> Symbol:
+        # Key on the operator's content so that structurally identical
+        # measurements (rebuilt between encoding calls) share symbols.
+        operator = np.asarray(measurement.operator(outcome), dtype=complex)
+        key = ("branch", registers, str(outcome), operator.tobytes())
+        embedded = measurement.embedded(self.space, list(registers))
+        superop = embedded.branch(outcome)
+        preferred = f"{label}{outcome}" if label else f"m{outcome}"
+        return self.symbol_for(key, superop, preferred)
+
+
+def encode(program: Program, setting: EncoderSetting) -> Expr:
+    """``Enc(program)`` with respect to ``setting`` (Definition 4.4)."""
+    if isinstance(program, Skip):
+        return ONE
+    if isinstance(program, Abort):
+        return ZERO
+    if isinstance(program, Init):
+        return setting._init_symbol(program)
+    if isinstance(program, Assign):
+        return setting._assign_symbol(program)
+    if isinstance(program, StatePrep):
+        return setting._stateprep_symbol(program)
+    if isinstance(program, Unitary):
+        return setting._unitary_symbol(program)
+    if isinstance(program, Seq):
+        return encode(program.first, setting) * encode(program.second, setting)
+    if isinstance(program, Case):
+        terms = []
+        for outcome, branch in program.branches.items():
+            symbol = setting.branch_symbol(
+                program.measurement, program.registers, outcome, program.label
+            )
+            terms.append(symbol * encode(branch, setting))
+        return sum_of(terms)
+    if isinstance(program, While):
+        loop_symbol = setting.branch_symbol(
+            program.measurement, program.registers, program.loop_outcome, program.label
+        )
+        exit_symbol = setting.branch_symbol(
+            program.measurement, program.registers, program.exit_outcome, program.label
+        )
+        body = encode(program.body, setting)
+        return (loop_symbol * body).star() * exit_symbol
+    raise TypeError(f"unknown program node {program!r}")  # pragma: no cover

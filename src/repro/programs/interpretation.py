@@ -1,0 +1,116 @@
+"""Quantum interpretations ``Qint`` and ``Q†int`` (paper Def. 4.1, fn. 5).
+
+An interpretation setting ``int = (H, eval)`` maps alphabet symbols to
+superoperators; ``Qint`` extends it homomorphically from expressions to
+path actions::
+
+    Qint(0) = O_H          Qint(e + f) = Qint(e) + Qint(f)
+    Qint(1) = I_H          Qint(e · f) = Qint(e) ; Qint(f)
+    Qint(a) = ⟨eval(a)⟩↑   Qint(e*)    = Qint(e)*
+
+The *dual* interpretation ``Q†int`` (Section 7, footnote 5) interprets each
+symbol by the lifted dual superoperator and composes with ``⋄`` (reversed
+order); it is the reading under which Hoare triples become inequalities.
+
+:func:`check_encoding_theorem` verifies Theorem 4.5 —
+``Qint(Enc(P)) = ⟨⟦P⟧⟩↑`` — for a concrete program, using the superoperator
+fast path when the encoding is star-free and probe equality otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.expr import Expr, One, Product, Star, Sum, Symbol, Zero
+from repro.pathmodel.action import (
+    PathAction,
+    action_equal,
+    identity_action,
+    zero_action,
+)
+from repro.pathmodel.lifting import lift
+from repro.programs.encoder import EncoderSetting, encode
+from repro.programs.semantics import denotation
+from repro.programs.syntax import Program
+from repro.quantum.hilbert import Space
+from repro.quantum.superoperator import Superoperator
+from repro.util.errors import EncodingError
+
+__all__ = ["Interpretation", "qint", "qint_dual", "check_encoding_theorem"]
+
+
+class Interpretation:
+    """An interpretation setting ``(H, eval)`` over a symbol alphabet."""
+
+    def __init__(self, dim: int, eval_map: Dict[str, Superoperator]):
+        self.dim = dim
+        self.eval_map = dict(eval_map)
+        for name, superop in self.eval_map.items():
+            if superop.dim != dim:
+                raise EncodingError(
+                    f"symbol {name!r} interpreted on dimension {superop.dim}, "
+                    f"expected {dim}"
+                )
+
+    @staticmethod
+    def from_setting(setting: EncoderSetting) -> "Interpretation":
+        """The interpretation ``(H, E⁻¹)`` of Theorem 4.5."""
+        return Interpretation(setting.space.dim, setting.interpretation_map())
+
+    def evaluate(self, name: str) -> Superoperator:
+        if name not in self.eval_map:
+            raise EncodingError(f"no interpretation for symbol {name!r}")
+        return self.eval_map[name]
+
+
+def qint(expr: Expr, interpretation: Interpretation) -> PathAction:
+    """``Qint(expr)`` as a path action (Definition 4.1)."""
+    if isinstance(expr, Zero):
+        return zero_action(interpretation.dim)
+    if isinstance(expr, One):
+        return identity_action(interpretation.dim)
+    if isinstance(expr, Symbol):
+        return lift(interpretation.evaluate(expr.name))
+    if isinstance(expr, Sum):
+        return qint(expr.left, interpretation) + qint(expr.right, interpretation)
+    if isinstance(expr, Product):
+        return qint(expr.left, interpretation).then(qint(expr.right, interpretation))
+    if isinstance(expr, Star):
+        return qint(expr.body, interpretation).star()
+    raise TypeError(f"unknown expression node {expr!r}")  # pragma: no cover
+
+
+def qint_dual(expr: Expr, interpretation: Interpretation) -> PathAction:
+    """``Q†int(expr)`` — dual superoperators, reversed composition (fn. 5)."""
+    if isinstance(expr, Zero):
+        return zero_action(interpretation.dim)
+    if isinstance(expr, One):
+        return identity_action(interpretation.dim)
+    if isinstance(expr, Symbol):
+        return lift(interpretation.evaluate(expr.name).dual())
+    if isinstance(expr, Sum):
+        return qint_dual(expr.left, interpretation) + qint_dual(expr.right, interpretation)
+    if isinstance(expr, Product):
+        # Q†int(e·f) = Q†int(e) ⋄ Q†int(f) = Q†int(f) ; Q†int(e).
+        return qint_dual(expr.right, interpretation).then(
+            qint_dual(expr.left, interpretation)
+        )
+    if isinstance(expr, Star):
+        return qint_dual(expr.body, interpretation).star()
+    raise TypeError(f"unknown expression node {expr!r}")  # pragma: no cover
+
+
+def check_encoding_theorem(
+    program: Program,
+    space: Space,
+    setting: Optional[EncoderSetting] = None,
+    atol: float = 1e-7,
+) -> bool:
+    """Theorem 4.5: ``Qint(Enc(P)) = ⟨⟦P⟧⟩↑`` for this program."""
+    if setting is None:
+        setting = EncoderSetting(space)
+    encoded = encode(program, setting)
+    interpretation = Interpretation.from_setting(setting)
+    interpreted = qint(encoded, interpretation)
+    lifted_semantics = lift(denotation(program, space))
+    return action_equal(interpreted, lifted_semantics, atol=atol)

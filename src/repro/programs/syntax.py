@@ -1,0 +1,407 @@
+"""The quantum while-language (paper Section 4.2).
+
+Syntax::
+
+    P ::= skip | abort | q := |0⟩ | q := U[q] | P1; P2
+        | case M[q] →_i P_i end
+        | while M[q] = 1 do P done
+
+plus the paper's sugar ``if M[q] = 1 then P1 else P2`` (a two-branch case)
+and ``if M[q] = 1 then P1`` (else-branch ``skip``).
+
+Programs name their registers; matrices are interpreted against a
+:class:`~repro.quantum.hilbert.Space` only when semantics are computed, so
+the same program value can run on differently-shaped spaces (as the
+normal-form construction of Section 6 requires).
+
+``Unitary`` and measurement statements carry an optional ``label`` used by
+the encoder to mint the NKA symbols that appear in the paper's derivations
+(``u``, ``m0``, ``m1``, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.quantum.measurement import Measurement
+
+__all__ = [
+    "Program",
+    "Skip",
+    "Abort",
+    "Init",
+    "Assign",
+    "StatePrep",
+    "Unitary",
+    "Seq",
+    "Case",
+    "While",
+    "seq",
+    "if_then_else",
+    "if_then",
+    "count_loops",
+    "program_size",
+    "is_while_free",
+    "program_registers",
+]
+
+
+class Program:
+    """Base class for quantum while-programs."""
+
+    __slots__ = ()
+
+    def then(self, other: "Program") -> "Program":
+        """Sequential composition ``self; other``."""
+        return Seq(self, other)
+
+    def __str__(self) -> str:
+        return _render(self, indent=0)
+
+    def __repr__(self) -> str:
+        return f"Program[{_render(self, indent=0)}]"
+
+
+@dataclass(frozen=True, repr=False)
+class Skip(Program):
+    """``skip`` — does nothing and terminates."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, repr=False)
+class Abort(Program):
+    """``abort`` — halts with no result (semantics ``O_H``)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, repr=False)
+class Init(Program):
+    """``q := |0⟩`` — reset the named registers to ``|0…0⟩``."""
+
+    registers: Tuple[str, ...]
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.registers:
+            raise ValueError("Init needs at least one register")
+
+
+class StatePrep(Program):
+    """``q := |ψ⟩`` — reset a register to a fixed pure state.
+
+    Semantics ``ρ ↦ Σ_k |ψ⟩_q⟨k| ρ |k⟩_q⟨ψ|`` — an elementary
+    trace-preserving reset, used by the QSP programs of Appendix B
+    (``p := |+⟩``, ``r := |G⟩``).
+    """
+
+    __slots__ = ("register", "state", "label")
+
+    def __init__(self, register: str, state: np.ndarray, label: Optional[str] = None):
+        self.register = register
+        state = np.asarray(state, dtype=complex).reshape(-1)
+        norm = np.linalg.norm(state)
+        if norm == 0:
+            raise ValueError("StatePrep state must be non-zero")
+        self.state = state / norm
+        self.label = label
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StatePrep):
+            return NotImplemented
+        return (
+            self.register == other.register
+            and self.label == other.label
+            and self.state.shape == other.state.shape
+            and bool(np.array_equal(self.state, other.state))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.register, self.label, self.state.tobytes()))
+
+
+@dataclass(frozen=True, repr=False)
+class Assign(Program):
+    """``g := |value⟩`` — set a register to a computational basis state.
+
+    Semantics ``ρ ↦ Σ_k |v⟩_g⟨k| ρ |k⟩_g⟨v|`` — the elementary assignment
+    the Section 6 normal-form construction encodes as the symbol ``g_v``.
+    (For ``value = 0`` this is exactly ``Init`` on one register.)
+    """
+
+    register: str
+    value: int
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        if self.value < 0:
+            raise ValueError("Assign value must be a basis index ≥ 0")
+
+
+class Unitary(Program):
+    """``q := U[q]`` — apply ``matrix`` to the named registers."""
+
+    __slots__ = ("registers", "matrix", "label")
+
+    def __init__(
+        self,
+        registers: Sequence[str],
+        matrix: np.ndarray,
+        label: Optional[str] = None,
+    ):
+        self.registers: Tuple[str, ...] = tuple(registers)
+        self.matrix = np.asarray(matrix, dtype=complex)
+        self.label = label
+        if not self.registers:
+            raise ValueError("Unitary needs at least one register")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Unitary):
+            return NotImplemented
+        return (
+            self.registers == other.registers
+            and self.label == other.label
+            and self.matrix.shape == other.matrix.shape
+            and bool(np.array_equal(self.matrix, other.matrix))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.registers, self.label, self.matrix.tobytes()))
+
+
+@dataclass(frozen=True, repr=False)
+class Seq(Program):
+    """``P1; P2``."""
+
+    first: Program
+    second: Program
+
+    __slots__ = ("first", "second")
+
+
+class Case(Program):
+    """``case M[q] →_i P_i end`` — measure, then branch on the outcome."""
+
+    __slots__ = ("measurement", "registers", "branches", "label")
+
+    def __init__(
+        self,
+        measurement: Measurement,
+        registers: Sequence[str],
+        branches: Dict[object, Program],
+        label: Optional[str] = None,
+    ):
+        missing = set(measurement.outcomes) - set(branches)
+        if missing:
+            raise ValueError(f"case misses branches for outcomes {sorted(map(str, missing))}")
+        extra = set(branches) - set(measurement.outcomes)
+        if extra:
+            raise ValueError(f"case has branches for unknown outcomes {sorted(map(str, extra))}")
+        self.measurement = measurement
+        self.registers: Tuple[str, ...] = tuple(registers)
+        self.branches: Dict[object, Program] = dict(branches)
+        self.label = label
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Case):
+            return NotImplemented
+        return (
+            self.registers == other.registers
+            and self.label == other.label
+            and self.measurement is other.measurement
+            and self.branches == other.branches
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.measurement), self.registers, self.label,
+                     tuple(sorted(((str(k), v) for k, v in self.branches.items()),
+                                  key=lambda kv: kv[0]))))
+
+
+class While(Program):
+    """``while M[q] = loop_outcome do body done``.
+
+    Measures; on ``loop_outcome`` runs ``body`` and repeats; on
+    ``exit_outcome`` terminates.  The measurement must have exactly the two
+    outcomes named.
+    """
+
+    __slots__ = ("measurement", "registers", "body", "loop_outcome", "exit_outcome", "label")
+
+    def __init__(
+        self,
+        measurement: Measurement,
+        registers: Sequence[str],
+        body: Program,
+        loop_outcome: object = 1,
+        exit_outcome: object = 0,
+        label: Optional[str] = None,
+    ):
+        outcomes = set(measurement.outcomes)
+        if outcomes != {loop_outcome, exit_outcome}:
+            raise ValueError(
+                f"while needs outcomes {{{loop_outcome}, {exit_outcome}}}, "
+                f"measurement has {sorted(map(str, outcomes))}"
+            )
+        self.measurement = measurement
+        self.registers: Tuple[str, ...] = tuple(registers)
+        self.body = body
+        self.loop_outcome = loop_outcome
+        self.exit_outcome = exit_outcome
+        self.label = label
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, While):
+            return NotImplemented
+        return (
+            self.registers == other.registers
+            and self.label == other.label
+            and self.measurement is other.measurement
+            and self.body == other.body
+            and self.loop_outcome == other.loop_outcome
+            and self.exit_outcome == other.exit_outcome
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (id(self.measurement), self.registers, self.body,
+             str(self.loop_outcome), str(self.exit_outcome), self.label)
+        )
+
+
+def seq(*programs: Program) -> Program:
+    """Left-associated sequential composition (empty = ``skip``)."""
+    if not programs:
+        return Skip()
+    result = programs[0]
+    for program in programs[1:]:
+        result = Seq(result, program)
+    return result
+
+
+def if_then_else(
+    measurement: Measurement,
+    registers: Sequence[str],
+    then_branch: Program,
+    else_branch: Program,
+    then_outcome: object = 1,
+    else_outcome: object = 0,
+    label: Optional[str] = None,
+) -> Case:
+    """``if M[q] = then_outcome then P1 else P2`` (paper footnote 3)."""
+    return Case(
+        measurement,
+        registers,
+        {then_outcome: then_branch, else_outcome: else_branch},
+        label=label,
+    )
+
+
+def if_then(
+    measurement: Measurement,
+    registers: Sequence[str],
+    then_branch: Program,
+    then_outcome: object = 1,
+    else_outcome: object = 0,
+    label: Optional[str] = None,
+) -> Case:
+    """``if M[q] = then_outcome then P1`` — else-branch ``skip``."""
+    return if_then_else(
+        measurement, registers, then_branch, Skip(), then_outcome, else_outcome, label
+    )
+
+
+def count_loops(program: Program) -> int:
+    """Number of ``while`` nodes (the Section 6 before/after metric)."""
+    if isinstance(program, While):
+        return 1 + count_loops(program.body)
+    if isinstance(program, Seq):
+        return count_loops(program.first) + count_loops(program.second)
+    if isinstance(program, Case):
+        return sum(count_loops(branch) for branch in program.branches.values())
+    return 0
+
+
+def program_size(program: Program) -> int:
+    """Number of AST nodes."""
+    if isinstance(program, Seq):
+        return 1 + program_size(program.first) + program_size(program.second)
+    if isinstance(program, Case):
+        return 1 + sum(program_size(branch) for branch in program.branches.values())
+    if isinstance(program, While):
+        return 1 + program_size(program.body)
+    return 1
+
+
+def is_while_free(program: Program) -> bool:
+    return count_loops(program) == 0
+
+
+def program_registers(program: Program) -> Tuple[str, ...]:
+    """All register names mentioned, in first-use order."""
+    seen: Dict[str, None] = {}
+
+    def walk(node: Program) -> None:
+        if isinstance(node, (Init, Unitary)):
+            for name in node.registers:
+                seen.setdefault(name)
+        elif isinstance(node, (Assign, StatePrep)):
+            seen.setdefault(node.register)
+        elif isinstance(node, Seq):
+            walk(node.first)
+            walk(node.second)
+        elif isinstance(node, Case):
+            for name in node.registers:
+                seen.setdefault(name)
+            for branch in node.branches.values():
+                walk(branch)
+        elif isinstance(node, While):
+            for name in node.registers:
+                seen.setdefault(name)
+            walk(node.body)
+
+    walk(program)
+    return tuple(seen)
+
+
+def _render(program: Program, indent: int) -> str:
+    pad = "  " * indent
+    if isinstance(program, Skip):
+        return f"{pad}skip"
+    if isinstance(program, Abort):
+        return f"{pad}abort"
+    if isinstance(program, Init):
+        regs = ", ".join(program.registers)
+        return f"{pad}{regs} := |0⟩"
+    if isinstance(program, Assign):
+        return f"{pad}{program.register} := |{program.value}⟩"
+    if isinstance(program, StatePrep):
+        name = program.label or "ψ"
+        return f"{pad}{program.register} := |{name}⟩"
+    if isinstance(program, Unitary):
+        regs = ", ".join(program.registers)
+        name = program.label or "U"
+        return f"{pad}{regs} := {name}[{regs}]"
+    if isinstance(program, Seq):
+        return f"{_render(program.first, indent)};\n{_render(program.second, indent)}"
+    if isinstance(program, Case):
+        regs = ", ".join(program.registers)
+        name = program.label or "M"
+        lines = [f"{pad}case {name}[{regs}] of"]
+        for outcome, branch in program.branches.items():
+            lines.append(f"{pad}  {outcome} →")
+            lines.append(_render(branch, indent + 2))
+        lines.append(f"{pad}end")
+        return "\n".join(lines)
+    if isinstance(program, While):
+        regs = ", ".join(program.registers)
+        name = program.label or "M"
+        return (
+            f"{pad}while {name}[{regs}] = {program.loop_outcome} do\n"
+            f"{_render(program.body, indent + 1)}\n{pad}done"
+        )
+    raise TypeError(f"unknown program node {program!r}")  # pragma: no cover

@@ -1,0 +1,126 @@
+"""Standard quantum gates and gate constructors.
+
+All gates are exact ``complex128`` matrices.  Multi-qubit gates use the
+convention that the *first* tensor factor is the control (matching
+:meth:`repro.quantum.hilbert.Space.embed`, which places the named registers
+in the order given).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "I2",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "T",
+    "CNOT",
+    "CZ",
+    "SWAP",
+    "TOFFOLI",
+    "rx",
+    "ry",
+    "rz",
+    "phase",
+    "controlled",
+    "increment",
+    "decrement",
+    "reflection_about",
+]
+
+I2 = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+
+CNOT = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about the X axis by ``theta``."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by ``theta``."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by ``theta``."""
+    return np.array(
+        [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]], dtype=complex
+    )
+
+
+def phase(theta: float) -> np.ndarray:
+    """The phase gate ``diag(1, e^{iθ})``."""
+    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+
+
+def controlled(unitary: np.ndarray, control_dim: int = 2) -> np.ndarray:
+    """``|c⟩⟨c| ⊗ U`` on the last control value, identity elsewhere.
+
+    For a qubit control this is the usual controlled-``U``: identity when
+    the control is ``|0⟩``, ``U`` when it is ``|1⟩`` (generalised to qudit
+    controls: ``U`` fires on the highest basis value).
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    dim = unitary.shape[0]
+    result = np.eye(control_dim * dim, dtype=complex)
+    offset = (control_dim - 1) * dim
+    result[offset:, offset:] = unitary
+    return result
+
+
+def increment(dim: int) -> np.ndarray:
+    """The cyclic increment ``|j⟩ ↦ |(j+1) mod dim⟩``."""
+    matrix = np.zeros((dim, dim), dtype=complex)
+    for j in range(dim):
+        matrix[(j + 1) % dim, j] = 1.0
+    return matrix
+
+
+def decrement(dim: int) -> np.ndarray:
+    """The cyclic decrement ``|j⟩ ↦ |(j−1) mod dim⟩`` (the paper's ``Dec``)."""
+    return increment(dim).conj().T
+
+
+def reflection_about(ket: np.ndarray, coefficient: complex = 2.0) -> np.ndarray:
+    """``coefficient·|ψ⟩⟨ψ| − I`` — (partial) reflection about a state.
+
+    With ``coefficient=2`` this is the Grover reflection; with
+    ``coefficient=1−1j`` it is the paper's QSP operator ``S``
+    (Appendix B).
+    """
+    ket = np.asarray(ket, dtype=complex).reshape(-1)
+    ket = ket / np.linalg.norm(ket)
+    dim = ket.shape[0]
+    return coefficient * np.outer(ket, ket.conj()) - np.eye(dim, dtype=complex)
+
+TOFFOLI = controlled(CNOT)
+
+
+def tensor(*factors: np.ndarray) -> np.ndarray:
+    """Kronecker product of several matrices (left to right)."""
+    result = np.eye(1, dtype=complex)
+    for factor in factors:
+        result = np.kron(result, np.asarray(factor, dtype=complex))
+    return result

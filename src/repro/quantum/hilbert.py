@@ -1,0 +1,152 @@
+"""Hilbert spaces as tensor products of named registers (paper Section 3.1).
+
+Quantum while-programs act on a set of quantum variables (registers); the
+program's Hilbert space is the tensor product of the registers' spaces.
+:class:`Space` tracks the register layout and provides the *embedding* of an
+operator acting on a subset of registers into the full space — the
+operation behind statements such as ``q := U[q]`` applied inside a larger
+program state.
+
+Registers are ordered; the global space is ``H = H_{r1} ⊗ H_{r2} ⊗ …`` in
+declaration order and basis indices are mixed-radix numbers over the
+register dimensions (most significant register first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Register", "Space", "qubit", "qudit"]
+
+
+@dataclass(frozen=True)
+class Register:
+    """A named quantum register of a fixed dimension."""
+
+    name: str
+    dim: int
+
+    def __post_init__(self):
+        if self.dim < 1:
+            raise ValueError(f"register {self.name!r} must have dimension ≥ 1")
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.dim}]"
+
+
+def qubit(name: str) -> Register:
+    """A two-dimensional register."""
+    return Register(name, 2)
+
+
+def qudit(name: str, dim: int) -> Register:
+    """A ``dim``-dimensional register."""
+    return Register(name, dim)
+
+
+class Space:
+    """An ordered tensor product of registers."""
+
+    def __init__(self, registers: Sequence[Register]):
+        names = [register.name for register in registers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate register names in {names}")
+        self.registers: Tuple[Register, ...] = tuple(registers)
+        self._index: Dict[str, int] = {
+            register.name: position for position, register in enumerate(self.registers)
+        }
+
+    @property
+    def dim(self) -> int:
+        return int(np.prod([register.dim for register in self.registers], dtype=object)) if self.registers else 1
+
+    @property
+    def dims(self) -> Tuple[int, ...]:
+        return tuple(register.dim for register in self.registers)
+
+    def position(self, name: str) -> int:
+        if name not in self._index:
+            raise KeyError(f"no register named {name!r} in {self}")
+        return self._index[name]
+
+    def register(self, name: str) -> Register:
+        return self.registers[self.position(name)]
+
+    def subspace_dim(self, names: Sequence[str]) -> int:
+        return int(np.prod([self.register(name).dim for name in names], dtype=object)) if names else 1
+
+    def extend(self, register: Register) -> "Space":
+        """A new space with ``register`` appended."""
+        return Space(self.registers + (register,))
+
+    # -- operator embedding ---------------------------------------------------
+
+    def embed(self, operator: np.ndarray, names: Sequence[str]) -> np.ndarray:
+        """Lift ``operator`` acting on registers ``names`` to the full space.
+
+        ``operator`` must be a square matrix on the tensor product of the
+        named registers *in the order given*.  The embedding tensors with
+        the identity on all other registers and permutes legs back to the
+        declaration order.
+        """
+        names = list(names)
+        expected = self.subspace_dim(names)
+        operator = np.asarray(operator, dtype=complex)
+        if operator.shape != (expected, expected):
+            raise ValueError(
+                f"operator shape {operator.shape} does not act on registers "
+                f"{names} (expected {(expected, expected)})"
+            )
+        positions = [self.position(name) for name in names]
+        if len(set(positions)) != len(positions):
+            raise ValueError(f"repeated register in {names}")
+        rest = [i for i in range(len(self.registers)) if i not in positions]
+        dims = self.dims
+        rest_dim = int(np.prod([dims[i] for i in rest], dtype=object)) if rest else 1
+        full = np.kron(operator, np.eye(rest_dim, dtype=complex))
+        # ``full`` acts on (named registers in given order) ⊗ (rest in order);
+        # permute tensor legs back to declaration order.
+        order = positions + rest
+        permutation = [order.index(i) for i in range(len(self.registers))]
+        leg_dims = [dims[i] for i in order]
+        tensor = full.reshape(leg_dims + leg_dims)
+        n = len(self.registers)
+        axes = permutation + [n + axis for axis in permutation]
+        tensor = tensor.transpose(axes)
+        return tensor.reshape(self.dim, self.dim)
+
+    def basis_ket(self, assignment: Dict[str, int]) -> np.ndarray:
+        """The computational basis vector with each register set as given.
+
+        Unassigned registers default to ``0``.
+        """
+        ket = np.ones(1, dtype=complex)
+        for register in self.registers:
+            value = assignment.get(register.name, 0)
+            if not 0 <= value < register.dim:
+                raise ValueError(
+                    f"value {value} out of range for register {register}"
+                )
+            local = np.zeros(register.dim, dtype=complex)
+            local[value] = 1.0
+            ket = np.kron(ket, local)
+        return ket
+
+    def __str__(self) -> str:
+        inner = " ⊗ ".join(str(register) for register in self.registers)
+        return f"Space({inner})"
+
+    def __repr__(self) -> str:
+        return str(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Space):
+            return NotImplemented
+        return self.registers == other.registers
+
+    def __hash__(self) -> int:
+        return hash(self.registers)

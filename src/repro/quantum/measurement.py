@@ -1,0 +1,135 @@
+"""Quantum measurements (paper Section 3.1).
+
+A measurement is a family ``{M_i}`` with ``Σ_i M_i† M_i = I``.  Outcome ``i``
+occurs with probability ``tr(M_i ρ M_i†)`` and yields the (unnormalised)
+branch state ``M_i(ρ) = M_i ρ M_i†`` — the branch *superoperator* that the
+encoder maps to the symbol ``m_i`` (Definition 4.4).
+
+:func:`computational_measurement` builds the ``Meas[g]`` measurement of
+Section 6 (projective, computational basis — it returns the classical value
+of ``g`` without disturbing classical states), and
+:func:`binary_projective` the two-outcome measurement used throughout
+Sections 5 and Appendix B.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.quantum.operators import ATOL, dagger, operator_close
+from repro.quantum.superoperator import Superoperator
+
+__all__ = [
+    "Measurement",
+    "computational_measurement",
+    "binary_projective",
+    "threshold_measurement",
+]
+
+
+class Measurement:
+    """A labelled quantum measurement ``{M_label}``."""
+
+    def __init__(self, operators: Dict[object, np.ndarray], validate: bool = True):
+        if not operators:
+            raise ValueError("a measurement needs at least one outcome")
+        self.operators: Dict[object, np.ndarray] = {
+            label: np.asarray(op, dtype=complex) for label, op in operators.items()
+        }
+        dims = {op.shape for op in self.operators.values()}
+        if len(dims) != 1:
+            raise ValueError(f"inconsistent measurement operator shapes: {dims}")
+        self.dim = next(iter(dims))[0]
+        if validate and not self.is_complete():
+            raise ValueError("measurement operators do not satisfy Σ M†M = I")
+
+    @property
+    def outcomes(self) -> List[object]:
+        return list(self.operators)
+
+    def operator(self, outcome: object) -> np.ndarray:
+        return self.operators[outcome]
+
+    def is_complete(self, atol: float = 1e-8) -> bool:
+        total = sum(
+            dagger(op) @ op for op in self.operators.values()
+        )
+        return operator_close(total, np.eye(self.dim), atol=atol)
+
+    def is_projective(self, atol: float = 1e-8) -> bool:
+        """``M_i M_j = δ_ij M_i`` — all outcomes orthogonal projectors."""
+        labels = self.outcomes
+        for i, a in enumerate(labels):
+            for b in labels[i:]:
+                product = self.operators[a] @ self.operators[b]
+                expected = self.operators[a] if a == b else np.zeros((self.dim, self.dim))
+                if not operator_close(product, expected, atol=atol):
+                    return False
+        return True
+
+    def branch(self, outcome: object) -> Superoperator:
+        """The branch superoperator ``ρ ↦ M_i ρ M_i†``."""
+        return Superoperator([self.operators[outcome]])
+
+    def probability(self, outcome: object, rho: np.ndarray) -> float:
+        """``tr(M_i ρ M_i†)``."""
+        op = self.operators[outcome]
+        return float(np.trace(op @ np.asarray(rho, dtype=complex) @ dagger(op)).real)
+
+    def post_state(self, outcome: object, rho: np.ndarray, atol: float = ATOL) -> np.ndarray:
+        """The normalised collapsed state; raises on zero probability."""
+        p = self.probability(outcome, rho)
+        if p <= atol:
+            raise ValueError(f"outcome {outcome!r} has probability ~0")
+        op = self.operators[outcome]
+        return (op @ np.asarray(rho, dtype=complex) @ dagger(op)) / p
+
+    def embedded(self, space, names: Sequence[str]) -> "Measurement":
+        """The same measurement acting on registers ``names`` of ``space``."""
+        return Measurement(
+            {
+                label: space.embed(op, names)
+                for label, op in self.operators.items()
+            }
+        )
+
+    def __repr__(self) -> str:
+        return f"Measurement(outcomes={self.outcomes}, dim={self.dim})"
+
+
+def computational_measurement(dim: int) -> Measurement:
+    """The computational-basis measurement ``{|i⟩⟨i|}`` (the paper's ``Meas``)."""
+    operators = {}
+    for i in range(dim):
+        projector = np.zeros((dim, dim), dtype=complex)
+        projector[i, i] = 1.0
+        operators[i] = projector
+    return Measurement(operators)
+
+
+def binary_projective(projector: np.ndarray, labels: Sequence[object] = (1, 0)) -> Measurement:
+    """The two-outcome measurement ``{P, I − P}``.
+
+    ``labels[0]`` names the ``P`` outcome, ``labels[1]`` the complement —
+    matching the paper's ``{M_1 = P, M_0 = I − P}`` style (e.g. Fig. 6).
+    """
+    projector = np.asarray(projector, dtype=complex)
+    dim = projector.shape[0]
+    return Measurement(
+        {labels[0]: projector, labels[1]: np.eye(dim, dtype=complex) - projector}
+    )
+
+
+def threshold_measurement(dim: int, threshold: int) -> Measurement:
+    """``Meas[g] > threshold`` vs ``Meas[g] ≤ threshold`` on a qudit.
+
+    Outcome ``">"`` projects onto ``span{|i⟩ : i > threshold}``, outcome
+    ``"≤"`` onto the rest — the guard tests of Section 6.
+    """
+    greater = np.zeros((dim, dim), dtype=complex)
+    for i in range(dim):
+        if i > threshold:
+            greater[i, i] = 1.0
+    return Measurement({">": greater, "≤": np.eye(dim, dtype=complex) - greater})

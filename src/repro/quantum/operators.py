@@ -1,0 +1,166 @@
+"""Operator-level utilities: PSD checks, the Löwner order, traces (Section 3.1).
+
+Numeric conventions: all matrices are ``complex128`` numpy arrays; checks
+take an absolute tolerance defaulting to :data:`ATOL` (1e-9).  The Löwner
+order ``A ⊑ B`` means ``B − A`` is positive semidefinite, tested through the
+minimum eigenvalue of the Hermitian part.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ATOL",
+    "dagger",
+    "is_hermitian",
+    "is_positive_semidefinite",
+    "loewner_leq",
+    "is_density_operator",
+    "is_partial_density_operator",
+    "partial_trace",
+    "support_projector",
+    "kernel_projector",
+    "compress_to_subspace",
+    "random_unitary",
+    "random_density",
+    "random_psd",
+    "operator_close",
+    "psd_spanning_family",
+]
+
+ATOL = 1e-9
+
+
+def dagger(matrix: np.ndarray) -> np.ndarray:
+    """Hermitian conjugate ``A†``."""
+    return np.asarray(matrix).conj().T
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = ATOL) -> bool:
+    matrix = np.asarray(matrix)
+    return matrix.shape[0] == matrix.shape[1] and np.allclose(
+        matrix, dagger(matrix), atol=atol
+    )
+
+
+def is_positive_semidefinite(matrix: np.ndarray, atol: float = ATOL) -> bool:
+    """Whether ``matrix`` is PSD (Hermitian with spectrum ≥ −atol)."""
+    if not is_hermitian(matrix, atol=atol):
+        return False
+    eigenvalues = np.linalg.eigvalsh((matrix + dagger(matrix)) / 2)
+    return bool(eigenvalues.min(initial=0.0) >= -atol)
+
+
+def loewner_leq(a: np.ndarray, b: np.ndarray, atol: float = ATOL) -> bool:
+    """The Löwner order ``a ⊑ b``: is ``b − a`` PSD?"""
+    return is_positive_semidefinite(np.asarray(b) - np.asarray(a), atol=atol)
+
+
+def is_density_operator(rho: np.ndarray, atol: float = ATOL) -> bool:
+    """PSD with unit trace."""
+    return is_positive_semidefinite(rho, atol=atol) and bool(
+        abs(np.trace(rho) - 1.0) <= atol
+    )
+
+
+def is_partial_density_operator(rho: np.ndarray, atol: float = ATOL) -> bool:
+    """PSD with trace at most one (paper: ``D(H)``)."""
+    return is_positive_semidefinite(rho, atol=atol) and bool(
+        np.trace(rho).real <= 1.0 + atol
+    )
+
+
+def partial_trace(
+    rho: np.ndarray, dims: Sequence[int], keep: Sequence[int]
+) -> np.ndarray:
+    """Trace out all tensor factors not in ``keep``.
+
+    ``dims`` lists the factor dimensions; ``keep`` the indices to retain (in
+    their original order).
+    """
+    dims = list(dims)
+    keep = sorted(keep)
+    n = len(dims)
+    rho = np.asarray(rho).reshape(dims + dims)
+    traced = [i for i in range(n) if i not in keep]
+    for offset, axis in enumerate(traced):
+        current = axis - sum(1 for t in traced[:offset] if t < axis)
+        half = rho.ndim // 2
+        rho = np.trace(rho, axis1=current, axis2=current + half)
+    keep_dim = int(np.prod([dims[i] for i in keep], dtype=object)) if keep else 1
+    return rho.reshape(keep_dim, keep_dim)
+
+
+def support_projector(matrix: np.ndarray, atol: float = 1e-8) -> np.ndarray:
+    """Projector onto the support (range) of a Hermitian PSD matrix."""
+    matrix = np.asarray(matrix)
+    eigenvalues, eigenvectors = np.linalg.eigh((matrix + dagger(matrix)) / 2)
+    mask = eigenvalues > atol
+    vectors = eigenvectors[:, mask]
+    return vectors @ dagger(vectors)
+
+
+def kernel_projector(matrix: np.ndarray, atol: float = 1e-8) -> np.ndarray:
+    """Projector onto the kernel of a Hermitian PSD matrix."""
+    return np.eye(matrix.shape[0], dtype=complex) - support_projector(matrix, atol)
+
+
+def compress_to_subspace(matrix: np.ndarray, projector: np.ndarray) -> np.ndarray:
+    """The compression ``P A P`` of ``A`` onto the subspace of ``P``."""
+    return projector @ np.asarray(matrix) @ projector
+
+
+def random_unitary(dim: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Haar-ish random unitary via QR of a Ginibre matrix."""
+    rng = rng or np.random.default_rng()
+    ginibre = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(ginibre)
+    phases = np.diag(r) / np.abs(np.diag(r))
+    return q * phases
+
+
+def random_psd(
+    dim: int, rng: Optional[np.random.Generator] = None, scale: float = 1.0
+) -> np.ndarray:
+    """A random PSD matrix ``A A† · scale``."""
+    rng = rng or np.random.default_rng()
+    a = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    return scale * (a @ dagger(a)) / dim
+
+
+def random_density(dim: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """A random density operator (normalised random PSD)."""
+    psd = random_psd(dim, rng)
+    return psd / np.trace(psd).real
+
+
+def operator_close(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    return bool(np.allclose(np.asarray(a), np.asarray(b), atol=atol))
+
+
+def psd_spanning_family(dim: int) -> List[np.ndarray]:
+    """A family of PSD matrices spanning Hermitian matrices over ``R``.
+
+    Linear maps on operators are determined by their values on this family:
+    ``|i⟩⟨i|``, ``|+_{ij}⟩⟨+_{ij}|`` and ``|+i_{ij}⟩⟨+i_{ij}|`` for
+    ``i < j``.  Used to compare superoperators and path actions on PSD
+    probes only (all our maps are defined on PSD cones).
+    """
+    family: List[np.ndarray] = []
+    for i in range(dim):
+        ket = np.zeros(dim, dtype=complex)
+        ket[i] = 1.0
+        family.append(np.outer(ket, ket.conj()))
+    for i in range(dim):
+        for j in range(i + 1, dim):
+            plus = np.zeros(dim, dtype=complex)
+            plus[i] = plus[j] = 1.0 / np.sqrt(2)
+            family.append(np.outer(plus, plus.conj()))
+            plus_i = np.zeros(dim, dtype=complex)
+            plus_i[i] = 1.0 / np.sqrt(2)
+            plus_i[j] = 1j / np.sqrt(2)
+            family.append(np.outer(plus_i, plus_i.conj()))
+    return family

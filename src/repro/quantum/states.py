@@ -1,0 +1,87 @@
+"""State constructors: kets, density operators, common named states."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ket",
+    "bra",
+    "density",
+    "computational",
+    "plus",
+    "minus",
+    "bell",
+    "maximally_mixed",
+    "uniform_superposition",
+]
+
+
+def ket(index: int, dim: int) -> np.ndarray:
+    """The computational basis vector ``|index⟩`` in dimension ``dim``."""
+    if not 0 <= index < dim:
+        raise ValueError(f"ket index {index} out of range for dimension {dim}")
+    vector = np.zeros(dim, dtype=complex)
+    vector[index] = 1.0
+    return vector
+
+
+def bra(index: int, dim: int) -> np.ndarray:
+    """The dual ``⟨index|``."""
+    return ket(index, dim).conj()
+
+
+def density(vector: np.ndarray) -> np.ndarray:
+    """``|ψ⟩⟨ψ|`` for a (normalised) state vector."""
+    vector = np.asarray(vector, dtype=complex).reshape(-1)
+    norm = np.linalg.norm(vector)
+    if norm == 0:
+        raise ValueError("cannot normalise the zero vector")
+    vector = vector / norm
+    return np.outer(vector, vector.conj())
+
+
+def computational(index: int, dim: int) -> np.ndarray:
+    """The density operator ``|index⟩⟨index|``."""
+    return density(ket(index, dim))
+
+
+def plus() -> np.ndarray:
+    """``|+⟩ = (|0⟩+|1⟩)/√2``."""
+    return np.array([1, 1], dtype=complex) / np.sqrt(2)
+
+
+def minus() -> np.ndarray:
+    """``|−⟩ = (|0⟩−|1⟩)/√2``."""
+    return np.array([1, -1], dtype=complex) / np.sqrt(2)
+
+
+def bell(kind: int = 0) -> np.ndarray:
+    """The four Bell states, ``kind ∈ {0, 1, 2, 3}``."""
+    table = {
+        0: np.array([1, 0, 0, 1], dtype=complex) / np.sqrt(2),
+        1: np.array([1, 0, 0, -1], dtype=complex) / np.sqrt(2),
+        2: np.array([0, 1, 1, 0], dtype=complex) / np.sqrt(2),
+        3: np.array([0, 1, -1, 0], dtype=complex) / np.sqrt(2),
+    }
+    if kind not in table:
+        raise ValueError(f"Bell state kind must be 0..3, got {kind}")
+    return table[kind]
+
+
+def maximally_mixed(dim: int) -> np.ndarray:
+    """``I/dim``."""
+    return np.eye(dim, dtype=complex) / dim
+
+
+def uniform_superposition(dim: int, weights: Optional[Sequence[float]] = None) -> np.ndarray:
+    """``Σ √(w_l) |l⟩ / norm`` — e.g. the QSP state ``|G⟩`` (Appendix B)."""
+    if weights is None:
+        weights = [1.0] * dim
+    weights = np.asarray(weights, dtype=float)
+    if len(weights) != dim or np.any(weights < 0):
+        raise ValueError("weights must be non-negative and match the dimension")
+    vector = np.sqrt(weights).astype(complex)
+    return vector / np.linalg.norm(vector)

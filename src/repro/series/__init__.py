@@ -1,0 +1,6 @@
+"""Formal and rational power series over the extended naturals (Appendix A)."""
+
+from repro.series.power_series import TruncatedSeries, all_words, series_of_expr
+from repro.series.rational import RationalSeries
+
+__all__ = ["TruncatedSeries", "all_words", "series_of_expr", "RationalSeries"]

@@ -1,0 +1,69 @@
+"""Rational power series over ``N̄`` (paper Definition A.5, Theorem A.6).
+
+A rational series is one denoted by an NKA expression through ``{{−}}``.
+This module is the user-facing wrapper tying together the two exact
+representations the library maintains for such a series:
+
+* the *automaton* form (:class:`repro.automata.wfa.WFA`) supporting
+  coefficients of arbitrary words and exact equality;
+* the *truncated table* form (:class:`repro.series.power_series.TruncatedSeries`)
+  supporting exhaustive inspection up to a length bound.
+
+Theorem A.6 (Bloom–Ésik / Ésik–Kuich) states NKA is sound and complete for
+rational series: ``⊢NKA e = f  ⟺  {{e}} = {{f}}``.  :meth:`RationalSeries.
+__eq__` decides the right-hand side, hence the left.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.automata.equivalence import EquivalenceResult, wfa_equivalent
+from repro.automata.wfa import WFA, expr_to_wfa
+from repro.core.expr import Expr, alphabet
+from repro.core.semiring import ExtNat
+from repro.series.power_series import TruncatedSeries, series_of_expr
+
+__all__ = ["RationalSeries"]
+
+
+@dataclass
+class RationalSeries:
+    """The rational power series ``{{expr}}`` denoted by an NKA expression."""
+
+    expr: Expr
+    _wfa: Optional[WFA] = field(default=None, repr=False)
+
+    @property
+    def automaton(self) -> WFA:
+        if self._wfa is None:
+            self._wfa = expr_to_wfa(self.expr)
+        return self._wfa
+
+    def coefficient(self, word: Sequence[str]) -> ExtNat:
+        """``{{expr}}[word]``, exact in ``N̄``."""
+        return self.automaton.weight(tuple(word))
+
+    def truncate(self, max_length: int) -> TruncatedSeries:
+        """All coefficients up to ``max_length`` via the direct evaluator."""
+        return series_of_expr(self.expr, max_length)
+
+    def equivalence(self, other: "RationalSeries") -> EquivalenceResult:
+        """Decide series equality with a witness on failure."""
+        sigma = frozenset(alphabet(self.expr) | alphabet(other.expr))
+        left = expr_to_wfa(self.expr, extra_alphabet=sigma)
+        right = expr_to_wfa(other.expr, extra_alphabet=sigma)
+        return wfa_equivalent(left, right)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RationalSeries):
+            return NotImplemented
+        return self.equivalence(other).equal
+
+    def __hash__(self) -> int:  # pragma: no cover - sanity only
+        raise TypeError("RationalSeries is unhashable (equality is semantic)")
+
+    def counterexample(self, other: "RationalSeries") -> Optional[Tuple[str, ...]]:
+        """A word separating the two series, or ``None`` when equal."""
+        return self.equivalence(other).counterexample

@@ -1,0 +1,21 @@
+"""Shared utilities: exception hierarchy and pretty-printing helpers."""
+
+from repro.util.errors import (
+    DecisionError,
+    EffectAlgebraError,
+    EncodingError,
+    ProofError,
+    ReproError,
+    SemanticsError,
+    UndefinedOperationError,
+)
+
+__all__ = [
+    "ReproError",
+    "ProofError",
+    "DecisionError",
+    "EncodingError",
+    "SemanticsError",
+    "EffectAlgebraError",
+    "UndefinedOperationError",
+]

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` and friends)
+propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ProofError(ReproError):
+    """A proof step could not be justified by the claimed law."""
+
+
+class DecisionError(ReproError):
+    """The decision procedure was invoked on malformed input."""
+
+
+class EncodingError(ReproError):
+    """A quantum program could not be encoded as an NKA expression."""
+
+
+class SemanticsError(ReproError):
+    """Denotational semantics could not be computed (e.g. divergent star)."""
+
+
+class EffectAlgebraError(ReproError):
+    """An effect-algebra operation was applied outside its domain."""
+
+
+class UndefinedOperationError(ReproError):
+    """A partial operation (such as effect ``⊕``) is undefined here."""

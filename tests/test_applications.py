@@ -1,0 +1,196 @@
+"""Tests for the paper's applications (Sections 5, 6, Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.applications.normal_form import (
+    normal_form_program,
+    normalize,
+    prove_section6_example,
+    section6_example_programs,
+    section6_space,
+    verify_normal_form,
+)
+from repro.applications.optimization import (
+    default_boundary_instance,
+    default_unrolling_instance,
+    verify_rule,
+)
+from repro.applications.qsp import (
+    QSPInstance,
+    build_qsp_programs,
+    default_qsp_instance,
+    loop_body_gate_counts,
+    verify_qsp,
+)
+from repro.programs.semantics import denotation
+from repro.programs.syntax import (
+    Case,
+    Init,
+    Skip,
+    Unitary,
+    While,
+    count_loops,
+    seq,
+)
+from repro.quantum.gates import H, X, Z
+from repro.quantum.hilbert import Space, qubit
+from repro.quantum.measurement import binary_projective
+from repro.quantum.operators import operator_close
+
+
+def _m():
+    return binary_projective(np.diag([0.0, 1.0]).astype(complex))
+
+
+class TestLoopUnrolling:
+    def test_proof_checks(self):
+        rule = default_unrolling_instance()
+        assert "(m0 p)* m1" in str(rule.proof.conclusion.rhs)
+
+    def test_full_pipeline(self):
+        report = verify_rule(default_unrolling_instance())
+        assert report.equal
+        assert "validated hypotheses" in report.detail
+
+    def test_semantic_equivalence_direct(self):
+        rule = default_unrolling_instance()
+        left = denotation(rule.before, rule.space)
+        right = denotation(rule.after, rule.space)
+        assert left.equals(right)
+
+    def test_fails_for_nonprojective_measurement(self):
+        """The projectivity hypotheses are necessary: a non-projective
+        measurement breaks them (and the programs genuinely differ)."""
+        from repro.applications.optimization import unrolling_programs
+        from repro.quantum.measurement import Measurement
+
+        # Non-projective two-outcome measurement.
+        a = np.array([[np.sqrt(0.8), 0], [0, np.sqrt(0.4)]], dtype=complex)
+        b = np.array([[np.sqrt(0.2), 0], [0, np.sqrt(0.6)]], dtype=complex)
+        m = Measurement({0: a, 1: b})
+        space = Space([qubit("q")])
+        before, after = unrolling_programs(m, ("q",), Unitary(["q"], H))
+        left = denotation(before, space)
+        right = denotation(after, space)
+        assert not left.equals(right)
+
+
+class TestLoopBoundary:
+    def test_full_pipeline(self):
+        report = verify_rule(default_boundary_instance())
+        assert report.equal
+
+    def test_semantic_equivalence_direct(self):
+        rule = default_boundary_instance()
+        assert denotation(rule.before, rule.space).equals(
+            denotation(rule.after, rule.space)
+        )
+
+    def test_transcript_mentions_laws(self):
+        rule = default_boundary_instance()
+        text = rule.proof.transcript()
+        assert "product-star" in text and "fixed-point" in text
+
+
+class TestQSP:
+    def test_gate_counts(self):
+        counts = loop_body_gate_counts(default_qsp_instance(2, 3))
+        assert counts["body_before"] == 6
+        assert counts["body_after"] == 4
+        assert counts["saved_per_iteration"] == 2
+        assert counts["saved_total"] == 6
+
+    def test_components_unitary(self):
+        instance = default_qsp_instance(2, 2)
+        for matrix in [
+            instance.phi_matrix(),
+            instance.s_matrix(),
+            instance.controlled_walk(),
+            instance.dec_matrix(),
+        ]:
+            assert operator_close(
+                matrix @ matrix.conj().T, np.eye(matrix.shape[0])
+            )
+
+    def test_s_fixes_g_state(self):
+        instance = default_qsp_instance(3, 1)
+        g = instance.g_state()
+        s = instance.s_matrix()
+        # S|G⟩ = -i|G⟩ — fixed up to phase, so r0; s = r0 as superoperators.
+        assert np.allclose(s @ g, -1j * g)
+
+    def test_full_pipeline(self):
+        report = verify_qsp(default_qsp_instance(num_terms=2, iterations=1))
+        assert report.equal
+
+    def test_semantic_equivalence_direct(self):
+        instance = default_qsp_instance(2, 1)
+        qsp, qsp_opt = build_qsp_programs(instance)
+        space = instance.space()
+        assert denotation(qsp, space).equals(denotation(qsp_opt, space))
+
+    def test_bad_instance_rejected(self):
+        with pytest.raises(ValueError):
+            QSPInstance([np.eye(2)], [1.0, 2.0], [0.1])
+        with pytest.raises(ValueError):
+            QSPInstance([np.eye(2)], [1.0], [])
+
+
+class TestNormalForm:
+    def test_while_free_passthrough(self):
+        prog = seq(Init(("q",)), Unitary(["q"], H))
+        result = normalize(prog)
+        assert result.loop is None
+        assert result.guards == []
+
+    def test_single_while(self):
+        prog = While(_m(), ("q",), Unitary(["q"], H))
+        ok, result, space = verify_normal_form(prog, Space([qubit("q")]))
+        assert ok
+        assert count_loops(normal_form_program(result)) == 1
+
+    def test_two_sequential_loops(self):
+        prog = seq(
+            While(_m(), ("q",), Unitary(["q"], H)),
+            While(_m(), ("q",), Unitary(["q"], X)),
+        )
+        ok, result, space = verify_normal_form(prog, Space([qubit("q")]))
+        assert ok
+        assert count_loops(normal_form_program(result)) == 1
+
+    def test_loop_then_statement(self):
+        prog = seq(
+            While(_m(), ("q",), Unitary(["q"], H)),
+            Unitary(["q"], Z),
+        )
+        ok, result, _ = verify_normal_form(prog, Space([qubit("q")]))
+        assert ok
+
+    def test_nested_while(self):
+        inner = While(_m(), ("q",), Unitary(["q"], H), loop_outcome=0, exit_outcome=1)
+        prog = While(_m(), ("q",), inner, loop_outcome=1, exit_outcome=0)
+        ok, result, _ = verify_normal_form(prog, Space([qubit("q")]))
+        assert ok
+        assert count_loops(normal_form_program(result)) == 1
+
+    def test_case_with_loop_branch(self):
+        prog = Case(_m(), ("q",), {
+            0: Skip(),
+            1: While(_m(), ("q",), Unitary(["q"], H)),
+        })
+        ok, result, _ = verify_normal_form(prog, Space([qubit("q")]))
+        assert ok
+
+    def test_section6_example_semantics(self):
+        space = section6_space()
+        orig, constr = section6_example_programs(
+            _m(), _m(), Unitary(["p"], H, label="p1"), Unitary(["p"], X, label="p2")
+        )
+        assert denotation(orig, space).equals(denotation(constr, space))
+
+    def test_section6_derivation(self):
+        proof, hyps = prove_section6_example()
+        conclusion = str(proof.conclusion.rhs)
+        assert "m10" in conclusion and "m20" in conclusion
+        assert len(proof.steps) >= 20

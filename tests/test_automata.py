@@ -1,0 +1,168 @@
+"""Tests for the automata substrate (NFA/DFA, WFA, exact equivalence)."""
+
+import pytest
+
+from repro.automata.equivalence import tzeng_equivalent, wfa_equivalent
+from repro.automata.nfa import NFA, determinize, dfa_equivalent, dfa_product_intersection
+from repro.automata.wfa import (
+    WFA,
+    drop_infinite_weights,
+    expr_to_wfa,
+    infinity_support_nfa,
+    matrix_add,
+    matrix_mul,
+    matrix_star,
+    restrict_to_dfa,
+)
+from repro.core.parser import parse
+from repro.core.semiring import ExtNat, INF, ONE, ZERO
+
+
+def _nfa_for_a_star_b() -> NFA:
+    nfa = NFA(num_states=2, alphabet=frozenset({"a", "b"}))
+    nfa.initial.add(0)
+    nfa.accepting.add(1)
+    nfa.add_transition(0, "a", 0)
+    nfa.add_transition(0, "b", 1)
+    return nfa
+
+
+class TestNFADFA:
+    def test_determinize_preserves_language(self):
+        nfa = _nfa_for_a_star_b()
+        dfa = determinize(nfa)
+        for word in [["b"], ["a", "b"], ["a", "a", "b"]]:
+            assert dfa.accepts(word) and nfa.accepts(word)
+        for word in [[], ["a"], ["b", "b"], ["b", "a"]]:
+            assert not dfa.accepts(word) and not nfa.accepts(word)
+
+    def test_complement(self):
+        dfa = determinize(_nfa_for_a_star_b())
+        comp = dfa.complement()
+        assert comp.accepts([]) and not comp.accepts(["b"])
+
+    def test_dfa_equivalence_positive(self):
+        left = determinize(_nfa_for_a_star_b())
+        right = determinize(_nfa_for_a_star_b())
+        equal, witness = dfa_equivalent(left, right)
+        assert equal and witness is None
+
+    def test_dfa_equivalence_negative_with_witness(self):
+        left = determinize(_nfa_for_a_star_b())
+        right = left.complement()
+        equal, witness = dfa_equivalent(left, right)
+        assert not equal
+        assert left.accepts(witness) != right.accepts(witness)
+
+    def test_product_intersection(self):
+        dfa = determinize(_nfa_for_a_star_b())
+        inter = dfa_product_intersection(dfa, dfa)
+        assert inter.accepts(["a", "b"])
+        assert not inter.accepts(["a"])
+
+    def test_emptiness(self):
+        dfa = determinize(_nfa_for_a_star_b())
+        assert not dfa.is_empty()
+        empty = dfa_product_intersection(dfa, dfa.complement())
+        assert empty.is_empty()
+
+
+class TestMatrixStar:
+    def test_scalar(self):
+        assert matrix_star([[ZERO]]) == [[ONE]]
+        assert matrix_star([[ONE]]) == [[INF]]
+
+    def test_nilpotent(self):
+        # Strictly upper triangular: star is I + M.
+        m = [[ZERO, ExtNat(3)], [ZERO, ZERO]]
+        star = matrix_star(m)
+        assert star[0][0] == ONE and star[0][1] == ExtNat(3)
+        assert star[1][0] == ZERO and star[1][1] == ONE
+
+    def test_cycle_gives_infinity(self):
+        m = [[ZERO, ONE], [ONE, ZERO]]
+        star = matrix_star(m)
+        assert all(star[i][j] == INF for i in range(2) for j in range(2))
+
+    def test_mul_add(self):
+        a = [[ONE, ZERO], [ZERO, ONE]]
+        b = [[ExtNat(2), ONE], [ZERO, ExtNat(3)]]
+        assert matrix_mul(a, b) == b
+        assert matrix_add(b, b)[0][0] == ExtNat(4)
+
+
+class TestExprToWFA:
+    def test_weights_match_semantics(self):
+        wfa = expr_to_wfa(parse("(a + a b)*"))
+        assert wfa.weight(()) == ONE
+        assert wfa.weight(("a",)) == ONE
+        assert wfa.weight(("a", "b")) == ONE
+        assert wfa.weight(("a", "a")) == ONE
+        assert wfa.weight(("b",)) == ZERO
+
+    def test_epsilon_cycle_infinite(self):
+        wfa = expr_to_wfa(parse("1*"))
+        assert wfa.weight(()) == INF
+
+    def test_star_of_unit_sum(self):
+        wfa = expr_to_wfa(parse("(1 + a)*"))
+        assert wfa.weight(()) == INF
+        assert wfa.weight(("a",)) == INF
+
+    def test_trim_reduces_zero_expr(self):
+        wfa = expr_to_wfa(parse("0 a b c"))
+        assert wfa.num_states == 0 or all(w.is_zero for w in wfa.initial)
+
+    def test_multiplicity_counting(self):
+        wfa = expr_to_wfa(parse("(a + a)*"))
+        assert wfa.weight(("a",)) == ExtNat(2)
+        assert wfa.weight(("a", "a")) == ExtNat(4)
+
+
+class TestInfinitySupport:
+    def test_support_of_one_star(self):
+        nfa = infinity_support_nfa(expr_to_wfa(parse("1* a")))
+        dfa = determinize(nfa)
+        assert dfa.accepts(["a"])
+        assert not dfa.accepts([])
+
+    def test_finite_series_empty_support(self):
+        nfa = infinity_support_nfa(expr_to_wfa(parse("(a b)* c")))
+        assert determinize(nfa).is_empty()
+
+    def test_drop_infinite_weights(self):
+        wfa = expr_to_wfa(parse("a + 1* b"))
+        cleaned = drop_infinite_weights(wfa)
+        assert cleaned.weight(("a",)) == ONE
+        assert cleaned.weight(("b",)).is_finite
+
+    def test_restrict_to_dfa(self):
+        wfa = expr_to_wfa(parse("a* b"))
+        dfa = determinize(_nfa_for_a_star_b())  # same language as support
+        restricted = restrict_to_dfa(wfa, dfa)
+        assert restricted.weight(("b",)) == ONE
+        assert restricted.weight(("a",)) == ZERO
+
+
+class TestEquivalence:
+    def test_tzeng_equal(self):
+        left = expr_to_wfa(parse("(a b)* a"))
+        right = expr_to_wfa(parse("a (b a)*"))
+        assert tzeng_equivalent(left, right).equal
+
+    def test_tzeng_unequal_with_word(self):
+        left = expr_to_wfa(parse("a + a"))
+        right = expr_to_wfa(parse("a"))
+        result = tzeng_equivalent(left, right)
+        assert not result.equal and result.counterexample == ("a",)
+
+    def test_full_equality_mixed_infinities(self):
+        left = expr_to_wfa(parse("1* (a + b)"), extra_alphabet=frozenset("ab"))
+        right = expr_to_wfa(parse("1* a + 1* b"), extra_alphabet=frozenset("ab"))
+        assert wfa_equivalent(left, right).equal
+
+    def test_full_inequality_on_support(self):
+        left = expr_to_wfa(parse("1* a"), extra_alphabet=frozenset("ab"))
+        right = expr_to_wfa(parse("1* b"), extra_alphabet=frozenset("ab"))
+        result = wfa_equivalent(left, right)
+        assert not result.equal

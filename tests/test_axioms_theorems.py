@@ -1,0 +1,112 @@
+"""Figure 2 / Figure 3 validation: axioms and derived theorems."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.axioms import (
+    SEMIRING_LAWS,
+    STAR_INDUCTION_LEFT,
+    STAR_INDUCTION_RIGHT,
+    STAR_UNFOLD_LEQ,
+)
+from repro.core.decision import nka_equal, nka_leq_refute
+from repro.core.expr import Expr, ONE, Product, Star, Sum, Symbol, ZERO, substitute
+from repro.core.theorems import (
+    ALL_DERIVED_LAWS,
+    FIGURE_2A_LAWS,
+    FIGURE_2B_LAWS,
+    STAR_REWRITE,
+    SWAP_STAR,
+    validate_by_decision_procedure,
+)
+from repro.series.power_series import series_of_expr
+
+
+class TestFigure3Axioms:
+    @pytest.mark.parametrize("axiom", SEMIRING_LAWS, ids=lambda l: l.name)
+    def test_semiring_equations_hold_in_series_model(self, axiom):
+        assert nka_equal(axiom.lhs, axiom.rhs)
+
+    def test_star_unfold_inequality(self):
+        # 1 + p p* ≤ p* pointwise on generic instance.
+        assert nka_leq_refute(STAR_UNFOLD_LEQ.lhs, STAR_UNFOLD_LEQ.rhs) is None
+
+    def test_star_induction_left_on_instances(self):
+        # Concrete Horn instance: q + p r ≤ r with p=a, q=b, r=a* b.
+        a, b = Symbol("a"), Symbol("b")
+        r = Star(a) * b
+        premise_bad = nka_leq_refute(b + a * r, r, max_length=3)
+        assert premise_bad is None  # premise holds
+        conclusion_bad = nka_leq_refute(Star(a) * b, r, max_length=3)
+        assert conclusion_bad is None  # conclusion holds
+
+    def test_star_induction_right_on_instances(self):
+        a, b = Symbol("a"), Symbol("b")
+        r = b * Star(a)
+        assert nka_leq_refute(b + r * a, r, max_length=3) is None
+        assert nka_leq_refute(b * Star(a), r, max_length=3) is None
+
+
+class TestFigure2Theorems:
+    def test_all_unconditional_laws_validate(self):
+        results = validate_by_decision_procedure()
+        assert all(results.values())
+        assert len(results) >= 8
+
+    @pytest.mark.parametrize("theorem", FIGURE_2A_LAWS, ids=lambda l: l.name)
+    def test_figure_2a(self, theorem):
+        assert nka_equal(theorem.lhs, theorem.rhs)
+
+    def test_unrolling(self):
+        from repro.core.theorems import UNROLLING
+
+        assert nka_equal(UNROLLING.lhs, UNROLLING.rhs)
+
+    def test_monotone_star_on_instances(self):
+        # p ≤ q → p* ≤ q* — check on p=a, q=a+b.
+        a, b = Symbol("a"), Symbol("b")
+        assert nka_leq_refute(a, a + b, max_length=3) is None
+        assert nka_leq_refute(Star(a), Star(a + b), max_length=3) is None
+
+    def test_positivity(self):
+        a = Symbol("a")
+        assert nka_leq_refute(ZERO, Star(a) * a, max_length=3) is None
+
+    def test_swap_star_on_commuting_instance(self):
+        # p, q both powers of the same letter commute.
+        a = Symbol("a")
+        p, q = a * a, a
+        assert nka_equal(p * q, q * p)
+        assert nka_equal(Star(p) * q, q * Star(p))
+
+    def test_star_rewrite_on_instance(self):
+        # p q = r p with p = a, q = b a...? use p=a, q=a, r=a (trivial).
+        a = Symbol("a")
+        assert nka_equal(a * a, a * a)
+        assert nka_equal(a * Star(a), Star(a) * a)
+
+    def test_conditional_laws_fail_without_premise(self):
+        # swap-star is NOT unconditionally valid.
+        subst = {"p": Symbol("a"), "q": Symbol("b")}
+        lhs = substitute(SWAP_STAR.lhs, subst)
+        rhs = substitute(SWAP_STAR.rhs, subst)
+        assert not nka_equal(lhs, rhs)
+
+
+class TestNonTheoremsOfNKA:
+    """KA theorems that rely on idempotency must NOT be derivable."""
+
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ("a + a", "a"),
+            ("(a*)*", "a*"),
+            ("a* a*", "a*"),
+            ("(a + 1)*", "a*"),
+            ("1 + 1", "1"),
+        ],
+    )
+    def test_ka_only_identities_rejected(self, left, right):
+        from repro.core.parser import parse
+
+        assert not nka_equal(parse(left), parse(right))

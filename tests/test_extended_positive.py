@@ -1,0 +1,137 @@
+"""Tests for extended positive operators PO∞(H) (paper Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.pathmodel.extended_positive import ExtendedPositive
+from repro.quantum.operators import operator_close
+from repro.quantum.states import computational, maximally_mixed
+
+
+class TestNormalForm:
+    def test_finite_embedding(self):
+        rho = computational(0, 2)
+        x = ExtendedPositive.of(rho)
+        assert x.is_finite
+        assert operator_close(x.finite_part, rho)
+
+    def test_infinite_everywhere(self):
+        x = ExtendedPositive.infinite(2)
+        assert not x.is_finite
+        assert np.isclose(np.trace(x.infinite_projector).real, 2.0)
+
+    def test_infinite_on_direction(self):
+        x = ExtendedPositive.infinite(2, computational(1, 2))
+        assert operator_close(x.infinite_projector, computational(1, 2))
+
+    def test_finite_part_compressed_onto_v(self):
+        # The finite part is stored compressed onto the finite subspace.
+        x = ExtendedPositive(np.eye(2), computational(0, 2))
+        assert operator_close(x.finite_part, computational(0, 2))
+
+    def test_negative_part_rejected(self):
+        with pytest.raises(ValueError):
+            ExtendedPositive(-np.eye(2))
+
+
+class TestQuadraticForm:
+    def test_finite_direction(self):
+        x = ExtendedPositive.of(np.diag([2.0, 3.0]).astype(complex))
+        assert np.isclose(x.quadratic_form(np.array([1, 0])), 2.0)
+
+    def test_infinite_direction(self):
+        x = ExtendedPositive.infinite(2, computational(1, 2))
+        assert x.quadratic_form(np.array([0, 1])) == float("inf")
+        assert np.isclose(x.quadratic_form(np.array([1, 0])), 0.0)
+
+    def test_mixed_vector_is_infinite(self):
+        x = ExtendedPositive.infinite(2, computational(1, 2))
+        assert x.quadratic_form(np.array([1, 1]) / np.sqrt(2)) == float("inf")
+
+
+class TestOrderAndEquality:
+    def test_loewner_on_finite(self):
+        small = ExtendedPositive.of(np.eye(2) * 0.5)
+        large = ExtendedPositive.of(np.eye(2))
+        assert small.leq(large)
+        assert not large.leq(small)
+
+    def test_finite_below_infinite(self):
+        finite = ExtendedPositive.of(np.eye(2) * 100)
+        infinite = ExtendedPositive.infinite(2)
+        assert finite.leq(infinite)
+        assert not infinite.leq(finite)
+
+    def test_remark_3_1_distinguishes_directions(self):
+        # Σ[|0⟩⟨0|] vs Σ[|1⟩⟨1|] are different, both below Σ[I].
+        inf0 = ExtendedPositive.infinite(2, computational(0, 2))
+        inf1 = ExtendedPositive.infinite(2, computational(1, 2))
+        inf_all = ExtendedPositive.infinite(2)
+        assert not inf0.equals(inf1)
+        assert inf0.leq(inf_all) and inf1.leq(inf_all)
+        assert not inf_all.leq(inf0)
+
+    def test_infinite_direction_dominates_any_finite_mass(self):
+        # ∞ on |0⟩ is above k·|0⟩⟨0| for any k.
+        inf0 = ExtendedPositive.infinite(2, computational(0, 2))
+        finite = ExtendedPositive.of(computational(0, 2) * 1e6)
+        assert finite.leq(inf0)
+
+    def test_equality_reflexive(self):
+        x = ExtendedPositive.infinite(3, computational(2, 3))
+        assert x.equals(x)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            ExtendedPositive.of(np.eye(2)).leq(ExtendedPositive.of(np.eye(3)))
+
+
+class TestAddition:
+    def test_finite_addition(self):
+        x = ExtendedPositive.of(computational(0, 2))
+        y = ExtendedPositive.of(computational(1, 2))
+        assert operator_close((x + y).finite_part, np.eye(2))
+
+    def test_infinite_directions_union(self):
+        x = ExtendedPositive.infinite(2, computational(0, 2))
+        y = ExtendedPositive.infinite(2, computational(1, 2))
+        assert not (x + y).is_finite
+        assert np.isclose(np.trace((x + y).infinite_projector).real, 2.0)
+
+    def test_finite_plus_infinite(self):
+        x = ExtendedPositive.of(np.eye(2))
+        y = ExtendedPositive.infinite(2, computational(1, 2))
+        total = x + y
+        # Finite on |0⟩ with mass 1, infinite on |1⟩.
+        assert np.isclose(total.quadratic_form(np.array([1, 0])), 1.0)
+        assert total.quadratic_form(np.array([0, 1])) == float("inf")
+
+    def test_scale(self):
+        x = ExtendedPositive.of(np.eye(2))
+        assert operator_close(x.scale(3.0).finite_part, 3 * np.eye(2))
+        assert x.scale(0.0).is_finite
+        with pytest.raises(ValueError):
+            x.scale(-1.0)
+
+
+class TestFromSeries:
+    def test_convergent_series(self):
+        terms = (np.eye(2) * 0.5 ** k for k in range(1, 200))
+        x = ExtendedPositive.from_series(terms, dim=2)
+        assert x.is_finite
+        assert operator_close(x.finite_part, np.eye(2), atol=1e-5)
+
+    def test_divergent_series_direction(self):
+        terms = (computational(0, 2) for _ in range(5000))
+        x = ExtendedPositive.from_series(terms, dim=2)
+        assert not x.is_finite
+        assert operator_close(x.infinite_projector, computational(0, 2), atol=1e-6)
+
+    def test_mixed_series(self):
+        def terms():
+            for k in range(1, 5000):
+                yield computational(0, 2) + computational(1, 2) * 0.5 ** k
+
+        x = ExtendedPositive.from_series(terms(), dim=2)
+        assert x.quadratic_form(np.array([1, 0])) == float("inf")
+        assert np.isfinite(x.quadratic_form(np.array([0, 1])))

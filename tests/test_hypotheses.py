@@ -1,0 +1,120 @@
+"""Tests for hypothesis-set builders and their semantic validity."""
+
+import numpy as np
+import pytest
+
+from repro.core.expr import ONE, Symbol, ZERO, symbols
+from repro.core.hypotheses import (
+    HypothesisSet,
+    commuting,
+    guard_algebra,
+    inverse_pair,
+    overwrite,
+    projective_measurement,
+)
+from repro.programs.encoder import EncoderSetting, encode
+from repro.programs.equivalence import validate_hypotheses
+from repro.programs.interpretation import Interpretation
+from repro.programs.syntax import Assign, Unitary, While
+from repro.quantum.gates import H, X
+from repro.quantum.hilbert import Space, qubit, qudit
+from repro.quantum.measurement import binary_projective, threshold_measurement
+
+
+class TestBuilders:
+    def test_projective_measurement_count(self):
+        m0, m1 = symbols("m0 m1")
+        hyps = projective_measurement([m0, m1])
+        assert len(hyps) == 4
+        assert hyps.named("m0m1=0").rhs == ZERO
+        assert hyps.named("m0m0=m0").rhs == m0
+
+    def test_commuting(self):
+        a, b, c = symbols("a b c")
+        hyps = commuting([a], [b, c])
+        assert len(hyps) == 2
+        eq = hyps.named("ab=ba")
+        assert eq.lhs == a * b and eq.rhs == b * a
+
+    def test_inverse_pair(self):
+        u, v = symbols("u v")
+        hyps = inverse_pair(u, v)
+        assert hyps.named("uv=1").rhs == ONE
+        assert hyps.named("vu=1").lhs == v * u
+
+    def test_overwrite(self):
+        g0, g1 = symbols("g0 g1")
+        hyps = overwrite([g0, g1])
+        assert hyps.named("g0g1=g1").rhs == g1
+        assert hyps.named("g1g1=g1").rhs == g1
+
+    def test_guard_algebra_values(self):
+        g0, g1, g2 = symbols("g0 g1 g2")
+        gt0, le0 = symbols("gt0 le0")
+        hyps = guard_algebra([g0, g1, g2], {0: gt0}, {0: le0})
+        assert hyps.named("g1·g>0").rhs == g1    # 1 > 0
+        assert hyps.named("g0·g>0").rhs == ZERO  # 0 > 0 fails
+        assert hyps.named("g0·g≤0").rhs == g0
+        assert hyps.named("g2·g≤0").rhs == ZERO
+
+    def test_named_missing(self):
+        with pytest.raises(KeyError):
+            HypothesisSet().named("nope")
+
+    def test_extend_and_iter(self):
+        a, b = symbols("a b")
+        left = commuting([a], [b])
+        right = inverse_pair(a, b)
+        left.extend(right)
+        assert len(list(left)) == 3
+
+
+class TestSemanticValidity:
+    """Every builder's output must hold under the intended interpretation."""
+
+    def test_projective_hypotheses_valid(self):
+        space = Space([qubit("q")])
+        m = binary_projective(np.diag([0.0, 1.0]).astype(complex))
+        setting = EncoderSetting(space)
+        encode(While(m, ("q",), Unitary(["q"], H, label="h"), label="m"), setting)
+        m0 = setting.branch_symbol(m, ("q",), 0, "m")
+        m1 = setting.branch_symbol(m, ("q",), 1, "m")
+        hyps = projective_measurement([m0, m1])
+        interp = Interpretation.from_setting(setting)
+        assert validate_hypotheses(list(hyps), interp) is None
+
+    def test_guard_algebra_hypotheses_valid(self):
+        # The Section 6 guard facts hold for the real assign/test semantics.
+        space = Space([qudit("g", 3)])
+        setting = EncoderSetting(space)
+        assigns = []
+        for i in range(3):
+            assigns.append(encode(Assign("g", i, label=f"g{i}"), setting))
+        meas = threshold_measurement(3, 0)
+        gt0 = setting.branch_symbol(meas, ("g",), ">", "g_gt0_")
+        le0 = setting.branch_symbol(meas, ("g",), "≤", "g_le0_")
+        meas1 = threshold_measurement(3, 1)
+        gt1 = setting.branch_symbol(meas1, ("g",), ">", "g_gt1_")
+        le1 = setting.branch_symbol(meas1, ("g",), "≤", "g_le1_")
+        hyps = guard_algebra(assigns, {0: gt0, 1: gt1}, {0: le0, 1: le1})
+        interp = Interpretation.from_setting(setting)
+        assert validate_hypotheses(list(hyps), interp) is None
+
+    def test_commuting_hypotheses_valid_disjoint_registers(self):
+        space = Space([qubit("a"), qubit("b")])
+        setting = EncoderSetting(space)
+        ua = encode(Unitary(["a"], H, label="ua"), setting)
+        ub = encode(Unitary(["b"], X, label="ub"), setting)
+        hyps = commuting([ua], [ub])
+        interp = Interpretation.from_setting(setting)
+        assert validate_hypotheses(list(hyps), interp) is None
+
+    def test_false_commutation_detected(self):
+        # Same register: H and X do NOT commute.
+        space = Space([qubit("a")])
+        setting = EncoderSetting(space)
+        h = encode(Unitary(["a"], H, label="h"), setting)
+        x = encode(Unitary(["a"], X, label="x"), setting)
+        hyps = commuting([h], [x])
+        interp = Interpretation.from_setting(setting)
+        assert validate_hypotheses(list(hyps), interp) is not None

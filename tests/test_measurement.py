@@ -1,0 +1,87 @@
+"""Tests for quantum measurements (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.gates import H
+from repro.quantum.hilbert import Space, qubit, qudit
+from repro.quantum.measurement import (
+    Measurement,
+    binary_projective,
+    computational_measurement,
+    threshold_measurement,
+)
+from repro.quantum.operators import operator_close
+from repro.quantum.states import computational, density, plus
+
+
+class TestConstruction:
+    def test_completeness_enforced(self):
+        with pytest.raises(ValueError):
+            Measurement({0: np.eye(2), 1: np.eye(2)})
+
+    def test_shape_consistency(self):
+        with pytest.raises(ValueError):
+            Measurement({0: np.eye(2), 1: np.eye(3)}, validate=False)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Measurement({})
+
+
+class TestProjective:
+    def test_computational_is_projective(self):
+        assert computational_measurement(4).is_projective()
+
+    def test_binary_projective(self):
+        m = binary_projective(np.diag([0.0, 1.0]).astype(complex))
+        assert m.is_projective()
+        assert set(m.outcomes) == {0, 1}
+
+    def test_threshold(self):
+        m = threshold_measurement(3, 0)
+        assert m.is_projective()
+        assert operator_close(m.operator(">"), np.diag([0.0, 1.0, 1.0]))
+
+    def test_nonprojective_povm(self):
+        # SIC-like POVM is complete but not projective.
+        a = np.sqrt(0.5) * np.eye(2)
+        m = Measurement({0: a, 1: a})
+        assert m.is_complete()
+        assert not m.is_projective()
+
+
+class TestStatistics:
+    def test_probabilities_sum_to_one(self):
+        m = computational_measurement(2)
+        rho = density(plus())
+        assert np.isclose(m.probability(0, rho) + m.probability(1, rho), 1.0)
+        assert np.isclose(m.probability(0, rho), 0.5)
+
+    def test_post_state_collapse(self):
+        m = computational_measurement(2)
+        rho = density(plus())
+        collapsed = m.post_state(1, rho)
+        assert operator_close(collapsed, computational(1, 2))
+
+    def test_post_state_zero_probability(self):
+        m = computational_measurement(2)
+        with pytest.raises(ValueError):
+            m.post_state(1, computational(0, 2))
+
+    def test_branch_superoperator(self):
+        m = computational_measurement(2)
+        branch = m.branch(0)
+        rho = density(plus())
+        out = branch(rho)
+        assert np.isclose(np.trace(out).real, 0.5)  # unnormalised
+
+
+class TestEmbedding:
+    def test_embedded_measurement(self):
+        space = Space([qubit("a"), qubit("b")])
+        m = computational_measurement(2).embedded(space, ["b"])
+        assert m.dim == 4
+        assert m.is_complete()
+        rho = np.kron(computational(0, 2), density(plus()))
+        assert np.isclose(m.probability(1, rho), 0.5)

@@ -1,0 +1,270 @@
+"""Tests for NKAT: effects, partitions, Hoare logic (paper Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.expr import Symbol
+from repro.nkat.algebra import NKATContext, TOP_EFFECT
+from repro.nkat.effects import (
+    Effect,
+    check_effect_algebra_laws,
+    constant_superoperator,
+    lifted_predicate,
+)
+from repro.nkat.hoare import (
+    HoareTriple,
+    check_encoded_triple,
+    encode_triple,
+    hoare_partial_valid,
+    wlp,
+)
+from repro.nkat.partitions import (
+    Partition,
+    check_partition_laws,
+    partition_of_measurement,
+)
+from repro.nkat.phl import derive_all_rules
+from repro.pathmodel.lifting import lift
+from repro.programs.syntax import (
+    Abort,
+    Init,
+    Skip,
+    Unitary,
+    While,
+    if_then_else,
+    seq,
+)
+from repro.quantum.gates import H, X
+from repro.quantum.hilbert import Space, qubit
+from repro.quantum.measurement import binary_projective, computational_measurement
+from repro.quantum.operators import operator_close, random_density
+from repro.quantum.states import computational, density, ket, plus
+from repro.util.errors import EffectAlgebraError, UndefinedOperationError
+
+
+def _m():
+    return binary_projective(np.diag([0.0, 1.0]).astype(complex))
+
+
+def _sample_effects():
+    return [
+        Effect.zero(2),
+        Effect.top(2),
+        Effect(np.diag([0.5, 0.5]).astype(complex)),
+        Effect.projector_onto(ket(0, 2)),
+        Effect.projector_onto(plus()),
+        Effect(np.diag([0.25, 0.75]).astype(complex)),
+    ]
+
+
+class TestEffect:
+    def test_validation(self):
+        with pytest.raises(EffectAlgebraError):
+            Effect(2 * np.eye(2))  # norm > 1
+        with pytest.raises(EffectAlgebraError):
+            Effect(-np.eye(2))
+
+    def test_negation_involutive(self):
+        a = Effect(np.diag([0.3, 0.9]).astype(complex))
+        assert a.negation().negation().equals(a)
+
+    def test_oplus_partial(self):
+        half = Effect(np.diag([0.5, 0.5]).astype(complex))
+        assert half.oplus(half).equals(Effect.top(2))
+        with pytest.raises(UndefinedOperationError):
+            Effect.top(2).oplus(half)
+
+    def test_expectation(self):
+        a = Effect.projector_onto(ket(1, 2))
+        assert np.isclose(a.expectation(density(plus())), 0.5)
+
+    def test_definition_7_1_laws(self):
+        results = check_effect_algebra_laws(_sample_effects())
+        assert all(results.values()), results
+
+    def test_constant_superoperator(self):
+        a = Effect(np.diag([0.5, 0.25]).astype(complex))
+        c = constant_superoperator(a)
+        rho = random_density(2, np.random.default_rng(0))
+        assert operator_close(c(rho), a.matrix)
+
+    def test_lifted_predicate_negation(self):
+        # Lemma 7.3: the negation of ⟨C_A⟩↑ is ⟨C_Ā⟩↑: their sum is ⟨C_I⟩↑.
+        a = Effect(np.diag([0.3, 0.6]).astype(complex))
+        total = lifted_predicate(a).as_superoperator() + lifted_predicate(
+            a.negation()
+        ).as_superoperator()
+        identity_pred = constant_superoperator(Effect.top(2))
+        assert total.equals(identity_pred)
+
+
+class TestPartition:
+    def test_from_measurement(self):
+        partition = partition_of_measurement(_m())
+        assert len(partition) == 2
+        assert partition.is_projective()
+
+    def test_partition_laws(self):
+        partition = partition_of_measurement(_m())
+        results = check_partition_laws(partition, _sample_effects())
+        assert all(results.values()), results
+
+    def test_nonprojective_partition_laws(self):
+        # POVM partition: completeness still holds, projectivity doesn't.
+        a = np.sqrt(0.3) * np.eye(2)
+        b = np.sqrt(0.7) * np.eye(2)
+        from repro.quantum.measurement import Measurement
+
+        partition = partition_of_measurement(Measurement({0: a, 1: b}))
+        results = check_partition_laws(partition, _sample_effects())
+        assert results["sums-to-top"] and results["partition-transform"]
+        assert not partition.is_projective()
+
+    def test_transform_is_dual_branch(self):
+        partition = partition_of_measurement(_m())
+        a = Effect.top(2)
+        index_of_outcome_1 = partition.labels.index(1)
+        transformed = partition.transform(index_of_outcome_1, a)  # M1† I M1
+        assert operator_close(transformed.matrix, computational(1, 2))
+
+
+class TestNKATContext:
+    def test_declare_and_negate(self):
+        ctx = NKATContext()
+        a, a_neg = ctx.declare_effect("a")
+        assert ctx.negate(a) == a_neg
+        assert ctx.negate(a_neg) == a
+
+    def test_undeclared_rejected(self):
+        ctx = NKATContext()
+        with pytest.raises(EffectAlgebraError):
+            ctx.negate(Symbol("ghost"))
+
+    def test_laws_are_ground(self):
+        ctx = NKATContext()
+        a, a_neg = ctx.declare_effect("a")
+        assert ctx.law_complement(a).rhs == TOP_EFFECT
+        assert ctx.law_bounded(a).rhs == TOP_EFFECT
+        reverse = ctx.law_negation_reverse(a, a)
+        assert reverse.lhs == a_neg
+
+    def test_partition_top_law(self):
+        ctx = NKATContext()
+        m0, m1 = ctx.declare_partition([Symbol("m0"), Symbol("m1")])
+        equation = ctx.law_partition_top([m0, m1])
+        assert TOP_EFFECT.name in str(equation.lhs)
+
+
+class TestHoareSemantics:
+    def test_skip_triple(self):
+        space = Space([qubit("q")])
+        a = Effect.projector_onto(ket(0, 2))
+        assert hoare_partial_valid(a, Skip(), a, space)
+
+    def test_abort_proves_anything_to_zero(self):
+        # {I} abort {O} is partially correct.
+        space = Space([qubit("q")])
+        assert hoare_partial_valid(Effect.top(2), Abort(), Effect.zero(2), space)
+
+    def test_unitary_triple(self):
+        space = Space([qubit("q")])
+        pre = Effect.projector_onto(ket(0, 2))
+        post = Effect.projector_onto(ket(1, 2))
+        assert hoare_partial_valid(pre, Unitary(["q"], X), post, space)
+        assert not hoare_partial_valid(pre, Unitary(["q"], X), pre, space)
+
+    def test_wlp_skip_abort(self):
+        space = Space([qubit("q")])
+        b = Effect.projector_onto(plus())
+        assert wlp(Skip(), b, space).equals(b)
+        assert wlp(Abort(), b, space).equals(Effect.top(2))
+
+    def test_wlp_unitary(self):
+        space = Space([qubit("q")])
+        post = Effect.projector_onto(ket(1, 2))
+        pre = wlp(Unitary(["q"], X), post, space)
+        assert pre.equals(Effect.projector_onto(ket(0, 2)))
+
+    def test_wlp_is_weakest(self):
+        # A ⊑ wlp(P, B) iff {A} P {B} valid — test both directions.
+        space = Space([qubit("q")])
+        prog = seq(Init(("q",)), Unitary(["q"], H))
+        post = Effect.projector_onto(plus())
+        precondition = wlp(prog, post, space)
+        assert hoare_partial_valid(precondition, prog, post, space)
+        assert precondition.equals(Effect.top(2))  # program always reaches |+⟩
+
+    def test_wlp_while(self):
+        space = Space([qubit("q")])
+        prog = While(_m(), ("q",), Unitary(["q"], X), loop_outcome=1, exit_outcome=0)
+        post = Effect.projector_onto(ket(0, 2))
+        pre = wlp(prog, post, space)
+        # The loop always ends in |0⟩ (flips |1⟩ once): wlp = I.
+        assert pre.equals(Effect.top(2))
+
+    def test_wlp_nonterminating_is_identity(self):
+        # Partial correctness: a diverging loop satisfies any postcondition.
+        space = Space([qubit("q")])
+        prog = While(_m(), ("q",), Skip(), loop_outcome=1, exit_outcome=0)
+        post = Effect.zero(2)
+        pre = wlp(prog, post, space)
+        # On |1⟩ the loop diverges, so ⟨1|wlp|1⟩ = 1.
+        assert np.isclose(pre.matrix[1, 1].real, 1.0)
+        assert np.isclose(pre.matrix[0, 0].real, 0.0)
+
+    def test_triple_object(self):
+        space = Space([qubit("q")])
+        triple = HoareTriple(Effect.top(2), Init(("q",)), Effect.projector_onto(ket(0, 2)))
+        assert triple.is_valid(space)
+
+
+class TestEncodedTriples:
+    def test_encode_triple_shape(self):
+        p, a_neg, b_neg = Symbol("p"), Symbol("a_neg"), Symbol("b_neg")
+        ineq = encode_triple(p, a_neg, b_neg)
+        assert ineq.rhs == a_neg
+
+    def test_encoded_matches_semantic(self):
+        space = Space([qubit("q")])
+        program = Unitary(["q"], X)
+        action_dual = lift(
+            __import__("repro.programs.semantics", fromlist=["denotation"])
+            .denotation(program, space).dual()
+        )
+        pre = Effect.projector_onto(ket(0, 2))
+        post = Effect.projector_onto(ket(1, 2))
+        assert check_encoded_triple(action_dual, pre, post)
+        # An invalid triple fails the encoded check too.
+        assert not check_encoded_triple(action_dual, post, post)
+
+
+class TestTheorem78:
+    def test_all_rules_derive(self):
+        rules = derive_all_rules()
+        assert set(rules) == {"Ax.Sk", "Ax.Ab", "R.OR", "R.IF", "R.SC", "R.LP"}
+        for name, proof in rules.items():
+            assert proof.transcript()
+
+    def test_rule_if_semantic_instance(self):
+        """The Horn implication of (R.IF) holds for actual semantics."""
+        space = Space([qubit("q")])
+        m = _m()
+        p0, p1 = Skip(), Unitary(["q"], X)
+        post = Effect.projector_onto(ket(0, 2))
+        pre0 = wlp(p0, post, space)
+        pre1 = wlp(p1, post, space)
+        combined = if_then_else(m, ("q",), p1, p0)
+        # Σ M_i†(pre_i) is a valid precondition for the case statement.
+        m0, m1 = m.operator(0), m.operator(1)
+        pre = Effect(
+            m0.conj().T @ pre0.matrix @ m0 + m1.conj().T @ pre1.matrix @ m1
+        )
+        assert hoare_partial_valid(pre, combined, post, space)
+
+    def test_rule_lp_semantic_instance(self):
+        """(R.LP) with the invariant of the flip loop."""
+        space = Space([qubit("q")])
+        prog = While(_m(), ("q",), Unitary(["q"], X), loop_outcome=1, exit_outcome=0)
+        post = Effect.projector_onto(ket(0, 2))
+        invariant = wlp(prog, post, space)
+        assert hoare_partial_valid(invariant, prog, post, space)

@@ -1,0 +1,115 @@
+"""Deeper structural coverage for the Theorem 6.1 transformation."""
+
+import numpy as np
+import pytest
+
+from repro.applications.normal_form import (
+    normal_form_program,
+    normalize,
+    verify_normal_form,
+)
+from repro.programs.semantics import denotation
+from repro.programs.syntax import (
+    Abort,
+    Case,
+    Init,
+    Skip,
+    Unitary,
+    While,
+    count_loops,
+    is_while_free,
+    seq,
+)
+from repro.quantum.gates import H, X, Z
+from repro.quantum.hilbert import Space, qubit
+from repro.quantum.measurement import binary_projective
+
+
+def _m():
+    return binary_projective(np.diag([0.0, 1.0]).astype(complex))
+
+
+class TestStructuralGuarantees:
+    """The normal form's shape claims, independent of semantics."""
+
+    def _check_shape(self, program):
+        result = normalize(program)
+        transformed = normal_form_program(result)
+        if result.loop is not None:
+            assert is_while_free(result.preamble)
+            assert is_while_free(result.loop.body)
+            assert count_loops(transformed) == 1
+        else:
+            assert is_while_free(transformed)
+        return result
+
+    def test_statement_before_loop(self):
+        prog = seq(Unitary(["q"], Z), While(_m(), ("q",), Unitary(["q"], H)))
+        result = self._check_shape(prog)
+        # The while contributes its own guard; the seq-merge adds none
+        # because the left side is while-free.
+        assert len(result.guards) == 1
+
+    def test_statement_after_loop_needs_guard(self):
+        prog = seq(While(_m(), ("q",), Unitary(["q"], H)), Unitary(["q"], Z))
+        result = self._check_shape(prog)
+        # One guard from the while itself plus one from the seq-merge
+        # (the trailing statement must run after the loop exits).
+        assert len(result.guards) == 2
+
+    def test_two_loops_need_three_valued_guard(self):
+        prog = seq(
+            While(_m(), ("q",), Unitary(["q"], H)),
+            While(_m(), ("q",), Unitary(["q"], X)),
+        )
+        result = self._check_shape(prog)
+        assert any(g.dim == 3 for g in result.guards)
+
+    def test_case_guard_width_matches_branches(self):
+        prog = Case(_m(), ("q",), {
+            0: While(_m(), ("q",), Unitary(["q"], H)),
+            1: While(_m(), ("q",), Unitary(["q"], X)),
+        })
+        result = self._check_shape(prog)
+        assert any(g.dim == 3 for g in result.guards)  # 2 branches + done
+
+    def test_abort_branch(self):
+        prog = Case(_m(), ("q",), {0: Abort(), 1: Skip()})
+        result = self._check_shape(prog)
+        assert result.loop is None
+
+
+class TestSemanticPreservationExtra:
+    @pytest.mark.parametrize("body_gate", [H, X])
+    def test_loop_after_statement(self, body_gate):
+        prog = seq(
+            Init(("q",)),
+            Unitary(["q"], H),
+            While(_m(), ("q",), Unitary(["q"], body_gate)),
+        )
+        ok, _result, _space = verify_normal_form(prog, Space([qubit("q")]))
+        assert ok
+
+    def test_case_both_branches_loop(self):
+        prog = Case(_m(), ("q",), {
+            0: While(_m(), ("q",), Unitary(["q"], H)),
+            1: While(_m(), ("q",), Unitary(["q"], X)),
+        })
+        ok, _result, space = verify_normal_form(prog, Space([qubit("q")]))
+        assert ok
+
+    def test_diverging_loop_preserved(self):
+        # while m = 1 do skip: diverges on |1⟩; normal form must agree.
+        prog = While(_m(), ("q",), Skip(), loop_outcome=1, exit_outcome=0)
+        ok, _result, _space = verify_normal_form(prog, Space([qubit("q")]))
+        assert ok
+
+    def test_two_register_program(self):
+        space = Space([qubit("q"), qubit("w")])
+        prog = seq(
+            While(_m(), ("w",), Unitary(["q"], H)),
+            Unitary(["w"], X),
+        )
+        ok, _result, extended = verify_normal_form(prog, space)
+        assert ok
+        assert extended.dim >= space.dim

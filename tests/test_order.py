@@ -1,0 +1,104 @@
+"""Tests for inequality derivations (OrderProof, star induction)."""
+
+import pytest
+
+from repro.core.expr import ONE, Product, Star, Sum, symbols
+from repro.core.order import CheckedOrderProof, Inequation, OrderProof
+from repro.core.parser import parse
+from repro.core.proof import Equation
+from repro.core.theorems import FIXED_POINT_RIGHT
+from repro.util.errors import ProofError
+
+
+class TestLeSteps:
+    def test_monotone_replacement(self):
+        a, b, c = symbols("a b c")
+        premise = Inequation(a, b, "a≤b")
+        proof = OrderProof(c * a, premises=[premise])
+        proof.le_step(c * b, by=premise)
+        checked = proof.qed(c * b)
+        assert checked.conclusion.lhs == c * a
+
+    def test_replacement_inside_sum(self):
+        a, b, c = symbols("a b c")
+        premise = Inequation(a, b, "a≤b")
+        proof = OrderProof(a + c, premises=[premise])
+        proof.le_step(b + c, by=premise)
+        proof.qed()
+
+    def test_invalid_le_step(self):
+        a, b, c = symbols("a b c")
+        premise = Inequation(a, b, "a≤b")
+        proof = OrderProof(c, premises=[premise])
+        with pytest.raises(ProofError):
+            proof.le_step(b, by=premise)
+
+    def test_premise_by_name(self):
+        a, b = symbols("a b")
+        proof = OrderProof(a, premises=[Inequation(a, b, "key")])
+        proof.le_step(b, by="key")
+        proof.qed(b)
+
+    def test_unknown_premise(self):
+        proof = OrderProof(parse("a"))
+        with pytest.raises(ProofError):
+            proof.le_step(parse("b"), by="missing")
+
+
+class TestEqSteps:
+    def test_structural_eq(self):
+        proof = OrderProof(parse("1 a + 0"))
+        proof.eq_step(parse("a"))
+        proof.qed(parse("a"))
+
+    def test_law_eq(self):
+        proof = OrderProof(parse("1 + a a*"))
+        proof.eq_step(parse("a*"), by=FIXED_POINT_RIGHT)
+        proof.qed()
+
+    def test_hypothesis_eq(self):
+        a, b = symbols("a b")
+        proof = OrderProof(a, equations=[Equation(a, b, "ab")])
+        proof.eq_step(b, by="ab")
+        proof.qed(b)
+
+    def test_bad_structural(self):
+        proof = OrderProof(parse("a + a"))
+        with pytest.raises(ProofError):
+            proof.eq_step(parse("a"))
+
+
+class TestStarInduction:
+    def test_left_induction(self):
+        # q + p r ≤ r with p=a, q=b, r arbitrary symbol r, premise given.
+        a, b, r = symbols("a b r")
+        premise_ineq = Inequation(b + a * r, r, "closure")
+        inner = OrderProof(b + a * r, premises=[premise_ineq])
+        inner.le_step(r, by=premise_ineq)
+        checked_premise = inner.qed(r)
+        conclusion = OrderProof.by_star_induction_left(a, b, r, checked_premise)
+        assert conclusion.conclusion.lhs == Product(Star(a), b)
+        assert conclusion.conclusion.rhs == r
+
+    def test_right_induction(self):
+        a, b, r = symbols("a b r")
+        premise_ineq = Inequation(b + r * a, r, "closure")
+        inner = OrderProof(b + r * a, premises=[premise_ineq])
+        inner.le_step(r, by=premise_ineq)
+        conclusion = OrderProof.by_star_induction_right(a, b, r, inner.qed(r))
+        assert conclusion.conclusion.lhs == Product(b, Star(a))
+
+    def test_wrong_premise_shape_rejected(self):
+        a, b, r = symbols("a b r")
+        bogus = OrderProof(a).qed(a)
+        with pytest.raises(ProofError):
+            OrderProof.by_star_induction_left(a, b, r, bogus)
+
+
+class TestTranscript:
+    def test_transcript(self):
+        a, b = symbols("a b")
+        proof = OrderProof(a, premises=[Inequation(a, b, "a≤b")], name="demo")
+        proof.le_step(b, by="a≤b", note="premise")
+        text = proof.qed().transcript()
+        assert "demo" in text and "≤" in text and "∎" in text

@@ -1,0 +1,87 @@
+"""Tests for the NKA expression parser."""
+
+import pytest
+
+from repro.core.expr import ONE, Product, Star, Sum, Symbol, ZERO
+from repro.core.parser import ParseError, parse
+from repro.core.rewrite import ac_equivalent
+
+
+class TestBasics:
+    def test_atoms(self):
+        assert parse("0") == ZERO
+        assert parse("1") == ONE
+        assert parse("a") == Symbol("a")
+        assert parse("m0") == Symbol("m0")
+
+    def test_sum_product_star(self):
+        a, b = Symbol("a"), Symbol("b")
+        assert parse("a + b") == Sum(a, b)
+        assert parse("a b") == Product(a, b)
+        assert parse("a*") == Star(a)
+
+    def test_explicit_product_operators(self):
+        assert parse("a · b") == parse("a b")
+        assert parse("a . b") == parse("a b")
+        assert parse("a ; b") == parse("a b")
+
+    def test_precedence_star_tightest(self):
+        a, b = Symbol("a"), Symbol("b")
+        assert parse("a b*") == Product(a, Star(b))
+        assert parse("(a b)*") == Star(Product(a, b))
+        assert parse("a + b c") == Sum(a, Product(b, Symbol("c")))
+
+    def test_double_star(self):
+        assert parse("a**") == Star(Star(Symbol("a")))
+
+    def test_numeric_suffix_symbols(self):
+        assert parse("m0 p") == Product(Symbol("m0"), Symbol("p"))
+
+    def test_one_vs_symbol(self):
+        # "1" alone is the unit; "1x" is rejected (no symbol starts with 1).
+        assert parse("1 a") == Product(ONE, Symbol("a"))
+
+
+class TestPaperExpressions:
+    def test_loop_encoding(self):
+        expr = parse("(m0 p)* m1")
+        assert expr == Product(Star(Product(Symbol("m0"), Symbol("p"))), Symbol("m1"))
+
+    def test_unrolling2_encoding(self):
+        expr = parse("(m0 p (m0 p + m1 1))* m1")
+        assert "m0" in str(expr)
+
+    def test_case_encoding(self):
+        expr = parse("m0 p0 + m1 p1")
+        assert isinstance(expr, Sum)
+
+    def test_round_trip_rendering(self):
+        for text in [
+            "(m0 p)* m1",
+            "a (b + c)* d",
+            "(a + b c)* + 1",
+            "u (m0 p)* m1 u⁻¹".replace("u⁻¹", "u_inv"),
+        ]:
+            assert ac_equivalent(parse(str(parse(text))), parse(text))
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("(a + b")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("a )")
+
+    def test_lone_operator(self):
+        with pytest.raises(ParseError):
+            parse("+ a")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse("a @ b")

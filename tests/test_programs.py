@@ -1,0 +1,250 @@
+"""Tests for program syntax, semantics, encoding, interpretation (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.expr import ONE, Symbol, ZERO
+from repro.core.parser import parse
+from repro.core.rewrite import ac_equivalent
+from repro.programs.encoder import EncoderSetting, encode
+from repro.programs.interpretation import (
+    Interpretation,
+    check_encoding_theorem,
+    qint,
+    qint_dual,
+)
+from repro.programs.semantics import denotation, loop_superoperator
+from repro.programs.syntax import (
+    Abort,
+    Assign,
+    Case,
+    Init,
+    Seq,
+    Skip,
+    StatePrep,
+    Unitary,
+    While,
+    count_loops,
+    if_then,
+    if_then_else,
+    is_while_free,
+    program_registers,
+    program_size,
+    seq,
+)
+from repro.quantum.gates import H, X
+from repro.quantum.hilbert import Space, qubit, qudit
+from repro.quantum.measurement import binary_projective, computational_measurement
+from repro.quantum.operators import operator_close
+from repro.quantum.states import computational, density, plus
+
+
+def _m():
+    return binary_projective(np.diag([0.0, 1.0]).astype(complex))
+
+
+class TestSyntax:
+    def test_while_outcome_validation(self):
+        with pytest.raises(ValueError):
+            While(_m(), ("q",), Skip(), loop_outcome=1, exit_outcome=2)
+
+    def test_case_branch_validation(self):
+        with pytest.raises(ValueError):
+            Case(_m(), ("q",), {0: Skip()})
+        with pytest.raises(ValueError):
+            Case(_m(), ("q",), {0: Skip(), 1: Skip(), 2: Skip()})
+
+    def test_count_loops(self):
+        loop = While(_m(), ("q",), Skip())
+        assert count_loops(seq(loop, loop)) == 2
+        nested = While(_m(), ("q",), loop)
+        assert count_loops(nested) == 2
+
+    def test_program_size_and_while_free(self):
+        prog = seq(Skip(), Init(("q",)), Unitary(["q"], H))
+        assert program_size(prog) == 5
+        assert is_while_free(prog)
+
+    def test_program_registers_order(self):
+        prog = seq(Init(("b",)), Unitary(["a"], H), Assign("c", 0))
+        assert program_registers(prog) == ("b", "a", "c")
+
+    def test_rendering(self):
+        prog = seq(Init(("q",)), While(_m(), ("q",), Skip(), label="m"))
+        text = str(prog)
+        assert "while" in text and "|0⟩" in text
+
+    def test_if_then_sugar(self):
+        prog = if_then(_m(), ("q",), Unitary(["q"], X))
+        assert isinstance(prog.branches[0], Skip)
+
+
+class TestSemantics:
+    def test_skip_abort(self):
+        space = Space([qubit("q")])
+        rho = density(plus())
+        assert operator_close(denotation(Skip(), space)(rho), rho)
+        assert operator_close(denotation(Abort(), space)(rho), np.zeros((2, 2)))
+
+    def test_init(self):
+        space = Space([qubit("q")])
+        out = denotation(Init(("q",)), space)(computational(1, 2))
+        assert operator_close(out, computational(0, 2))
+
+    def test_assign(self):
+        space = Space([qudit("g", 3)])
+        out = denotation(Assign("g", 2), space)(computational(0, 3))
+        assert operator_close(out, computational(2, 3))
+
+    def test_stateprep(self):
+        space = Space([qubit("q")])
+        out = denotation(StatePrep("q", plus()), space)(computational(1, 2))
+        assert operator_close(out, density(plus()))
+
+    def test_seq_order(self):
+        space = Space([qubit("q")])
+        prog = seq(Unitary(["q"], X), Init(("q",)))
+        out = denotation(prog, space)(computational(0, 2))
+        assert operator_close(out, computational(0, 2))
+
+    def test_case_sums_branches(self):
+        space = Space([qubit("q")])
+        prog = if_then_else(_m(), ("q",), Unitary(["q"], X), Skip())
+        out = denotation(prog, space)(density(plus()))
+        assert np.isclose(np.trace(out).real, 1.0)
+        # Outcome 1 (|1⟩) flips to |0⟩; outcome 0 stays |0⟩: result is |0⟩.
+        assert operator_close(out, computational(0, 2))
+
+    def test_while_terminating(self):
+        space = Space([qubit("q")])
+        # Loop flips |1⟩ to |0⟩, so it runs at most once.
+        prog = While(_m(), ("q",), Unitary(["q"], X), loop_outcome=1, exit_outcome=0)
+        out = denotation(prog, space)(computational(1, 2))
+        assert operator_close(out, computational(0, 2))
+
+    def test_while_infinite_loop_loses_trace(self):
+        space = Space([qubit("q")])
+        # Body is skip: once in |1⟩ the loop never exits — semantics 0 there.
+        prog = While(_m(), ("q",), Skip(), loop_outcome=1, exit_outcome=0)
+        out = denotation(prog, space)(computational(1, 2))
+        assert operator_close(out, np.zeros((2, 2)))
+        # On |0⟩ it exits immediately.
+        out0 = denotation(prog, space)(computational(0, 2))
+        assert operator_close(out0, computational(0, 2))
+
+    def test_while_coinflip(self):
+        space = Space([qubit("q")])
+        prog = While(_m(), ("q",), Unitary(["q"], H), loop_outcome=1, exit_outcome=0)
+        out = denotation(prog, space)(density(plus()))
+        assert np.isclose(np.trace(out).real, 1.0)
+        assert operator_close(out, computational(0, 2))
+
+
+class TestEncoder:
+    def test_skip_abort_encoding(self):
+        setting = EncoderSetting(Space([qubit("q")]))
+        assert encode(Skip(), setting) == ONE
+        assert encode(Abort(), setting) == ZERO
+
+    def test_while_encoding_shape(self):
+        setting = EncoderSetting(Space([qubit("q")]))
+        prog = While(_m(), ("q",), Unitary(["q"], H, label="h"), label="m")
+        expr = encode(prog, setting)
+        assert ac_equivalent(expr, parse("(m1 h)* m0"))
+
+    def test_case_encoding_shape(self):
+        setting = EncoderSetting(Space([qubit("q")]))
+        prog = if_then_else(_m(), ("q",), Unitary(["q"], X, label="x"), Skip(), label="m")
+        expr = encode(prog, setting)
+        assert ac_equivalent(expr, parse("m1 x + m0 1"))
+
+    def test_same_statement_same_symbol(self):
+        setting = EncoderSetting(Space([qubit("q")]))
+        u = Unitary(["q"], H, label="h")
+        expr = encode(seq(u, u), setting)
+        assert ac_equivalent(expr, parse("h h"))
+
+    def test_different_matrices_different_symbols(self):
+        setting = EncoderSetting(Space([qubit("q")]))
+        expr = encode(seq(Unitary(["q"], H, label="h"), Unitary(["q"], X, label="h")), setting)
+        # Same preferred label, but the second gets a fresh name.
+        factors = str(expr).split()
+        assert len(set(factors)) == 2
+
+    def test_inverse_lookup(self):
+        setting = EncoderSetting(Space([qubit("q")]))
+        encode(Unitary(["q"], H, label="h"), setting)
+        superop = setting.superoperator("h")
+        assert operator_close(superop(computational(0, 2)), density(plus()))
+
+    def test_unknown_symbol_rejected(self):
+        setting = EncoderSetting(Space([qubit("q")]))
+        with pytest.raises(Exception):
+            setting.superoperator("ghost")
+
+
+class TestInterpretation:
+    def test_qint_of_symbols(self):
+        space = Space([qubit("q")])
+        setting = EncoderSetting(space)
+        encode(Unitary(["q"], X, label="x"), setting)
+        interp = Interpretation.from_setting(setting)
+        action = qint(Symbol("x"), interp)
+        out = action(computational(0, 2))
+        assert operator_close(out.finite_part, computational(1, 2))
+
+    def test_qint_dual_reverses_composition(self):
+        space = Space([qubit("q")])
+        setting = EncoderSetting(space)
+        encode(seq(Unitary(["q"], X, label="x"), Unitary(["q"], H, label="h")), setting)
+        interp = Interpretation.from_setting(setting)
+        forward = qint(parse("x h"), interp).as_superoperator()
+        dual = qint_dual(parse("x h"), interp).as_superoperator()
+        # Q†int(x h) = H† then X† — dual of (X then H).
+        assert dual.equals(forward.dual())
+
+    def test_dimension_mismatch_rejected(self):
+        from repro.quantum.superoperator import Superoperator
+
+        with pytest.raises(Exception):
+            Interpretation(2, {"a": Superoperator.identity(3)})
+
+
+class TestTheorem45:
+    """Qint(Enc(P)) = ⟨⟦P⟧⟩↑ across program shapes."""
+
+    def test_elementary(self):
+        space = Space([qubit("q")])
+        for prog in [Skip(), Abort(), Init(("q",)), Unitary(["q"], H)]:
+            assert check_encoding_theorem(prog, space)
+
+    def test_seq_case(self):
+        space = Space([qubit("q")])
+        prog = seq(Init(("q",)),
+                   if_then_else(_m(), ("q",), Unitary(["q"], X), Skip()))
+        assert check_encoding_theorem(prog, space)
+
+    def test_while(self):
+        space = Space([qubit("q")])
+        prog = While(_m(), ("q",), Unitary(["q"], H))
+        assert check_encoding_theorem(prog, space)
+
+    def test_nonterminating_while(self):
+        space = Space([qubit("q")])
+        prog = While(_m(), ("q",), Skip())
+        assert check_encoding_theorem(prog, space)
+
+    def test_two_registers(self):
+        space = Space([qubit("q"), qubit("w")])
+        prog = seq(
+            Init(("q",)),
+            Unitary(["w"], H),
+            While(_m(), ("w",), Unitary(["q"], X)),
+        )
+        assert check_encoding_theorem(prog, space)
+
+    def test_case_on_qudit(self):
+        space = Space([qudit("g", 3)])
+        meas = computational_measurement(3)
+        prog = Case(meas, ("g",), {0: Skip(), 1: Assign("g", 0), 2: Abort()})
+        assert check_encoding_theorem(prog, space)

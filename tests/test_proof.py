@@ -1,0 +1,163 @@
+"""Tests for the equational proof engine (Laws, Proof, step checking)."""
+
+import pytest
+
+from repro.core.axioms import DISTRIB_LEFT, DISTRIB_RIGHT
+from repro.core.expr import ONE, Symbol, ZERO, symbols
+from repro.core.hypotheses import projective_measurement
+from repro.core.parser import parse
+from repro.core.proof import Equation, Law, Proof, apply_conditional_law, law
+from repro.core.theorems import (
+    FIXED_POINT_RIGHT,
+    SLIDING,
+    STAR_REWRITE,
+    SWAP_STAR,
+    UNROLLING,
+)
+from repro.util.errors import ProofError
+
+
+class TestLaw:
+    def test_law_infers_variables(self):
+        rule = law("test", parse("p q"), parse("q p"))
+        assert rule.variables == frozenset({"p", "q"})
+
+    def test_instance(self):
+        rule = law("test", parse("p q"), parse("q p"))
+        a, b = symbols("a b")
+        eq = rule.instance({"p": a, "q": b * a})
+        assert eq.lhs == a * (b * a)
+
+    def test_instance_missing_variable(self):
+        rule = law("test", parse("p q"), parse("q p"))
+        with pytest.raises(ProofError):
+            rule.instance({"p": Symbol("a")})
+
+    def test_reversed(self):
+        assert SLIDING.reversed().lhs == SLIDING.rhs
+
+
+class TestProofSteps:
+    def test_simple_step(self):
+        pf = Proof(parse("(a b)* a"))
+        pf.step(parse("a (b a)*"), by=SLIDING)
+        checked = pf.qed(parse("a (b a)*"))
+        assert checked.conclusion.rhs == parse("a (b a)*")
+
+    def test_step_in_context(self):
+        pf = Proof(parse("c (a b)* a d"))
+        pf.step(parse("c a (b a)* d"), by=SLIDING)
+        pf.qed()
+
+    def test_step_under_star(self):
+        pf = Proof(parse("((a b)* a)*"))
+        pf.step(parse("(a (b a)*)*"), by=SLIDING)
+        pf.qed()
+
+    def test_backward_direction(self):
+        pf = Proof(parse("a*"))
+        pf.step(parse("1 + a a*"), by=FIXED_POINT_RIGHT, direction="rl")
+        pf.qed()
+
+    def test_auto_direction(self):
+        pf = Proof(parse("1 + a a*"))
+        pf.step(parse("a*"), by=FIXED_POINT_RIGHT, direction="auto")
+        pf.qed()
+
+    def test_invalid_step_raises(self):
+        pf = Proof(parse("a b"))
+        with pytest.raises(ProofError):
+            pf.step(parse("b a"), by=SLIDING)
+
+    def test_by_structure(self):
+        pf = Proof(parse("a (1 b) + 0"))
+        pf.by_structure(parse("a b"))
+        pf.qed(parse("a b"))
+
+    def test_by_structure_rejects_non_structural(self):
+        pf = Proof(parse("a + a"))
+        with pytest.raises(ProofError):
+            pf.by_structure(parse("a"))
+
+    def test_qed_goal_mismatch(self):
+        pf = Proof(parse("a"))
+        with pytest.raises(ProofError):
+            pf.qed(parse("b"))
+
+    def test_explicit_substitution_unit_instance(self):
+        # (p + q) r with p := 1 — only reachable with an explicit subst.
+        pf = Proof(parse("m1 + a m1"))
+        pf.step(parse("(1 + a) m1"), by=DISTRIB_RIGHT, direction="rl",
+                subst={"p": ONE, "q": Symbol("a"), "r": Symbol("m1")})
+        pf.qed()
+
+    def test_hypothesis_step(self):
+        m0, m1 = symbols("m0 m1")
+        hyps = projective_measurement([m0, m1])
+        pf = Proof(parse("a m1 m0 b"), hypotheses=list(hyps))
+        pf.step(parse("0"), by=hyps.named("m1m0=0"))
+        pf.qed(ZERO)
+
+    def test_hypothesis_by_name(self):
+        m0, m1 = symbols("m0 m1")
+        hyps = projective_measurement([m0, m1])
+        pf = Proof(parse("m1 m1"), hypotheses=list(hyps))
+        pf.step(parse("m1"), by="m1m1=m1")
+        pf.qed()
+
+    def test_unknown_hypothesis_name(self):
+        pf = Proof(parse("a"))
+        with pytest.raises(ProofError):
+            pf.step(parse("b"), by="nonexistent")
+
+
+class TestConditionalLaws:
+    def test_swap_star_with_ground_premise(self):
+        a, b = symbols("a b")
+        commute = Equation(a * b, b * a, "ab=ba")
+        pf = Proof(a.star() * b, hypotheses=[commute])
+        pf.step(b * a.star(), by=SWAP_STAR)
+        pf.qed()
+
+    def test_swap_star_premise_unprovable(self):
+        a, b = symbols("a b")
+        pf = Proof(a.star() * b)  # no commuting hypothesis
+        with pytest.raises(ProofError):
+            pf.step(b * a.star(), by=SWAP_STAR)
+
+    def test_star_rewrite(self):
+        g, m = symbols("g m")
+        premise = Equation(g * m, m * g, "gm=mg")
+        pf = Proof(g * m.star(), hypotheses=[premise])
+        pf.step(m.star() * g, by=STAR_REWRITE,
+                subst={"p": g, "q": m, "r": m})
+        pf.qed()
+
+    def test_apply_conditional_law_cut(self):
+        g, m = symbols("g m")
+        premise_proof = Proof(g * m, hypotheses=[Equation(g * m, m * g, "c")])
+        premise_proof.step(m * g, by="c")
+        checked = premise_proof.qed(m * g)
+        derived = apply_conditional_law(
+            STAR_REWRITE, {"p": g, "q": m, "r": m}, [checked]
+        )
+        assert derived.lhs == g * m.star()
+
+    def test_apply_conditional_law_wrong_premise(self):
+        g, m, x = symbols("g m x")
+        wrong = Proof(g * x, hypotheses=[Equation(g * x, x * g, "c")])
+        wrong.step(x * g, by="c")
+        with pytest.raises(ProofError):
+            apply_conditional_law(STAR_REWRITE, {"p": g, "q": m, "r": m},
+                                  [wrong.qed(x * g)])
+
+
+class TestTranscript:
+    def test_transcript_contains_steps(self):
+        pf = Proof(parse("(a b)* a"), name="sliding demo")
+        pf.step(parse("a (b a)*"), by=SLIDING, note="slide")
+        text = pf.qed().transcript()
+        assert "sliding demo" in text
+        assert "a (b a)*" in text
+        assert "slide" in text
+        assert "∎" in text

@@ -1,0 +1,200 @@
+"""Tests for the quantum substrate: spaces, operators, gates, states."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.gates import (
+    CNOT,
+    H,
+    I2,
+    SWAP,
+    TOFFOLI,
+    X,
+    Y,
+    Z,
+    controlled,
+    decrement,
+    increment,
+    reflection_about,
+    rx,
+    ry,
+    rz,
+    tensor,
+)
+from repro.quantum.hilbert import Register, Space, qubit, qudit
+from repro.quantum.operators import (
+    dagger,
+    is_density_operator,
+    is_hermitian,
+    is_partial_density_operator,
+    is_positive_semidefinite,
+    loewner_leq,
+    operator_close,
+    partial_trace,
+    psd_spanning_family,
+    random_density,
+    random_psd,
+    random_unitary,
+    support_projector,
+)
+from repro.quantum.states import (
+    bell,
+    computational,
+    density,
+    ket,
+    maximally_mixed,
+    minus,
+    plus,
+    uniform_superposition,
+)
+
+
+class TestSpace:
+    def test_dims(self):
+        space = Space([qubit("a"), qudit("c", 3)])
+        assert space.dim == 6
+        assert space.dims == (2, 3)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Space([qubit("a"), qubit("a")])
+
+    def test_embed_single_register(self):
+        space = Space([qubit("a"), qubit("b")])
+        embedded = space.embed(X, ["b"])
+        assert operator_close(embedded, np.kron(I2, X))
+        embedded_a = space.embed(X, ["a"])
+        assert operator_close(embedded_a, np.kron(X, I2))
+
+    def test_embed_reordered_registers(self):
+        space = Space([qubit("a"), qubit("b")])
+        # CNOT with control b, target a == SWAP·CNOT·SWAP.
+        embedded = space.embed(CNOT, ["b", "a"])
+        expected = SWAP @ CNOT @ SWAP
+        assert operator_close(embedded, expected)
+
+    def test_embed_middle_of_three(self):
+        space = Space([qubit("a"), qubit("b"), qubit("c")])
+        embedded = space.embed(Z, ["b"])
+        expected = tensor(I2, Z, I2)
+        assert operator_close(embedded, expected)
+
+    def test_embed_wrong_shape_rejected(self):
+        space = Space([qubit("a")])
+        with pytest.raises(ValueError):
+            space.embed(np.eye(3), ["a"])
+
+    def test_basis_ket(self):
+        space = Space([qubit("a"), qudit("c", 3)])
+        vec = space.basis_ket({"a": 1, "c": 2})
+        assert vec[1 * 3 + 2] == 1.0
+        assert np.count_nonzero(vec) == 1
+
+    def test_extend(self):
+        space = Space([qubit("a")]).extend(qudit("g", 3))
+        assert space.dim == 6
+        assert space.position("g") == 1
+
+    def test_unknown_register(self):
+        with pytest.raises(KeyError):
+            Space([qubit("a")]).position("z")
+
+
+class TestOperators:
+    def test_psd_checks(self):
+        assert is_positive_semidefinite(np.eye(3))
+        assert not is_positive_semidefinite(-np.eye(2))
+        assert not is_positive_semidefinite(np.array([[0, 1], [0, 0]]))
+
+    def test_loewner(self):
+        assert loewner_leq(np.zeros((2, 2)), np.eye(2))
+        assert not loewner_leq(2 * np.eye(2), np.eye(2))
+
+    def test_density_checks(self):
+        rho = random_density(4, np.random.default_rng(0))
+        assert is_density_operator(rho)
+        assert is_partial_density_operator(rho / 2)
+        assert not is_density_operator(rho / 2)
+
+    def test_partial_trace(self):
+        rho = np.kron(computational(0, 2), maximally_mixed(3))
+        reduced = partial_trace(rho, [2, 3], keep=[0])
+        assert operator_close(reduced, computational(0, 2))
+        other = partial_trace(rho, [2, 3], keep=[1])
+        assert operator_close(other, maximally_mixed(3))
+
+    def test_partial_trace_entangled(self):
+        rho = density(bell(0))
+        reduced = partial_trace(rho, [2, 2], keep=[0])
+        assert operator_close(reduced, maximally_mixed(2))
+
+    def test_support_projector(self):
+        proj = support_projector(computational(1, 3))
+        assert operator_close(proj, computational(1, 3))
+
+    def test_random_unitary_is_unitary(self):
+        u = random_unitary(5, np.random.default_rng(1))
+        assert operator_close(u @ dagger(u), np.eye(5))
+
+    def test_psd_spanning_family_spans(self):
+        family = psd_spanning_family(2)
+        assert len(family) == 4
+        stacked = np.array([m.flatten() for m in family])
+        assert np.linalg.matrix_rank(stacked) == 4
+
+
+class TestGates:
+    def test_paulis(self):
+        assert operator_close(X @ X, I2)
+        assert operator_close(X @ Y - Y @ X, 2j * Z)
+
+    def test_hadamard(self):
+        assert operator_close(H @ H, I2)
+        assert operator_close(H @ np.array([1, 0]), plus())
+
+    def test_rotations_unitary(self):
+        for gate in [rx(0.7), ry(1.2), rz(2.1)]:
+            assert operator_close(gate @ dagger(gate), I2)
+
+    def test_controlled(self):
+        assert operator_close(controlled(X), CNOT)
+        assert operator_close(TOFFOLI[6:, 6:], X)
+
+    def test_increment_decrement(self):
+        inc, dec = increment(4), decrement(4)
+        assert operator_close(inc @ dec, np.eye(4))
+        vec = ket(1, 4)
+        assert operator_close(np.outer(inc @ vec, (inc @ vec).conj()),
+                              computational(2, 4))
+
+    def test_reflection(self):
+        g = plus()
+        s = reflection_about(g, coefficient=1 - 1j)  # the QSP S operator
+        assert operator_close(s @ dagger(s), I2)  # unitary
+        assert np.allclose(s @ g, -1j * g)  # eigenvector with phase −i
+
+
+class TestStates:
+    def test_ket_bounds(self):
+        with pytest.raises(ValueError):
+            ket(3, 2)
+
+    def test_density_normalises(self):
+        rho = density(np.array([2, 0], dtype=complex))
+        assert np.isclose(np.trace(rho).real, 1.0)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            density(np.zeros(2))
+
+    def test_bell_states_orthonormal(self):
+        vectors = [bell(k) for k in range(4)]
+        gram = np.array([[abs(np.vdot(u, v)) for v in vectors] for u in vectors])
+        assert operator_close(gram, np.eye(4))
+
+    def test_uniform_superposition_weights(self):
+        g = uniform_superposition(2, [1.0, 3.0])
+        assert np.isclose(abs(g[1]) ** 2, 0.75)
+
+    def test_plus_minus_orthogonal(self):
+        assert np.isclose(np.vdot(plus(), minus()), 0.0)

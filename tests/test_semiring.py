@@ -1,0 +1,134 @@
+"""Tests for the extended naturals semiring N̄ (paper Def. A.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.semiring import ExtNat, INF, ONE, ZERO, ext_prod, ext_sum
+
+finite = st.integers(min_value=0, max_value=1000).map(ExtNat)
+extnats = st.one_of(finite, st.just(INF))
+
+
+class TestConstruction:
+    def test_zero_one_inf(self):
+        assert ZERO.is_zero and ZERO.is_finite
+        assert ONE.finite_value == 1
+        assert INF.is_infinite and not INF.is_finite
+
+    def test_of_coerces_int(self):
+        assert ExtNat.of(5) == ExtNat(5)
+        assert ExtNat.of(INF) is INF or ExtNat.of(INF) == INF
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ExtNat(-1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            ExtNat(1.5)
+
+    def test_finite_value_of_inf_raises(self):
+        with pytest.raises(ValueError):
+            INF.finite_value
+
+    def test_copy_constructor(self):
+        assert ExtNat(ExtNat(7)) == ExtNat(7)
+
+
+class TestArithmetic:
+    def test_addition_finite(self):
+        assert ExtNat(2) + ExtNat(3) == ExtNat(5)
+
+    def test_addition_with_int(self):
+        assert ExtNat(2) + 3 == ExtNat(5)
+        assert 3 + ExtNat(2) == ExtNat(5)
+
+    def test_addition_infinity_absorbs(self):
+        assert ExtNat(7) + INF == INF
+        assert INF + INF == INF
+        assert ZERO + INF == INF
+
+    def test_multiplication_finite(self):
+        assert ExtNat(4) * ExtNat(3) == ExtNat(12)
+
+    def test_zero_annihilates_infinity(self):
+        # The defining special case 0 · ∞ = 0.
+        assert ZERO * INF == ZERO
+        assert INF * ZERO == ZERO
+
+    def test_positive_times_infinity(self):
+        assert ExtNat(3) * INF == INF
+        assert INF * ExtNat(1) == INF
+
+    def test_star(self):
+        assert ZERO.star() == ONE
+        assert ONE.star() == INF
+        assert ExtNat(5).star() == INF
+        assert INF.star() == INF
+
+    def test_ext_sum_and_prod(self):
+        assert ext_sum([1, 2, 3]) == ExtNat(6)
+        assert ext_sum([1, INF]) == INF
+        assert ext_prod([2, 3, 4]) == ExtNat(24)
+        assert ext_prod([2, 0, INF]) == ZERO
+
+
+class TestOrder:
+    def test_total_order(self):
+        assert ZERO < ONE < INF
+        assert not INF < INF
+        assert INF <= INF
+
+    def test_comparison_with_int(self):
+        assert ExtNat(3) <= 3
+        assert ExtNat(3) < 4
+        assert ExtNat(3) > 2
+
+    def test_hash_consistency(self):
+        assert hash(ExtNat(3)) == hash(ExtNat(3))
+        assert len({ZERO, ExtNat(0), ONE, INF}) == 3
+
+    def test_str(self):
+        assert str(INF) == "∞"
+        assert str(ExtNat(9)) == "9"
+
+
+class TestSemiringLawsProperty:
+    @given(extnats, extnats, extnats)
+    def test_add_associative_commutative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+        assert a + b == b + a
+
+    @given(extnats, extnats, extnats)
+    def test_mul_associative(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+
+    @given(extnats, extnats, extnats)
+    def test_distributivity(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+        assert (a + b) * c == a * c + b * c
+
+    @given(extnats)
+    def test_units(self, a):
+        assert a + ZERO == a
+        assert a * ONE == a
+        assert ONE * a == a
+        assert a * ZERO == ZERO
+
+    @given(extnats)
+    def test_star_fixed_point(self, a):
+        # a* = 1 + a·a* holds in N̄ (both sides are 1 when a = 0, else ∞).
+        assert a.star() == ONE + a * a.star()
+
+    @given(extnats, extnats)
+    def test_order_monotone(self, a, b):
+        assert a <= a + b
+        if a <= b:
+            assert a + ONE <= b + ONE
+            assert a * ExtNat(2) <= b * ExtNat(2)
+
+    @given(extnats)
+    def test_no_idempotency_except_edges(self, a):
+        # a + a = a only for the idempotent elements 0 and ∞.
+        if a + a == a:
+            assert a == ZERO or a == INF
