@@ -11,7 +11,13 @@ import random
 import pytest
 
 from benchmarks.conftest import report
-from repro.core.decision import nka_equal, nka_equal_detailed
+from repro.core.decision import (
+    cache_stats,
+    clear_caches,
+    nka_equal,
+    nka_equal_detailed,
+    nka_equal_many,
+)
 from repro.core.expr import Expr, ONE, Product, Star, Sum, Symbol, ZERO, expr_size
 
 
@@ -42,11 +48,80 @@ def _random_expr(rng: random.Random, letters: list, depth: int) -> Expr:
 @pytest.mark.parametrize("depth", [1, 2, 4, 8])
 def test_decision_scaling_derivable(benchmark, depth):
     left, right = _nested_sliding(depth)
-    result = benchmark(nka_equal, left, right)
+
+    def run():
+        clear_caches()  # keep this a *cold* scaling measurement
+        return nka_equal(left, right)
+
+    result = benchmark(run)
     assert result
     report(f"REM2.1/derivable-d{depth}",
            "equational theory decidable (Remark 2.1)",
            f"expr size {expr_size(left)} decided")
+
+
+def _overlapping_workload(seed: int, distinct: int, queries: int):
+    """A repeated-query workload: many pairs drawn from few distinct exprs.
+
+    Models the serving pattern the cache layer targets (axiom sweeps,
+    normal-form checking): the same subexpressions recur across queries.
+    """
+    rng = random.Random(seed)
+    alphabet = ["a", "b"]
+    exprs = [_random_expr(rng, alphabet, 3) for _ in range(distinct)]
+    return [(rng.choice(exprs), rng.choice(exprs)) for _ in range(queries)]
+
+
+def test_decision_repeated_queries_cold(benchmark):
+    """Baseline: every round starts with empty caches."""
+    pairs = _overlapping_workload(seed=1, distinct=12, queries=40)
+
+    def run():
+        clear_caches()
+        return nka_equal_many(pairs)
+
+    results = benchmark(run)
+    report("REM2.1/repeat-cold",
+           "decidable; no cross-query reuse without caching",
+           f"{len(pairs)} queries over 12 distinct exprs, "
+           f"{sum(results)} equal (cold each round)")
+
+
+def test_decision_repeated_queries_warm(benchmark):
+    """The same workload asked again: answers come from the verdict cache."""
+    pairs = _overlapping_workload(seed=1, distinct=12, queries=40)
+    clear_caches(reset_stats=True)
+    nka_equal_many(pairs)  # warm the caches once
+
+    before = cache_stats()["decision.results"]
+    results = benchmark(lambda: nka_equal_many(pairs))
+    after = cache_stats()["decision.results"]
+    hits = after.hits - before.hits
+    misses = after.misses - before.misses
+    report("REM2.1/repeat-warm",
+           "hash-consing + memoized pipeline make repeats O(1)",
+           f"{len(pairs)} cached queries; verdict cache served "
+           f"{hits}/{hits + misses} lookups during timing")
+
+
+def test_decision_batched_vs_sequential(benchmark):
+    """Batched entry point shares compilation across overlapping pairs."""
+    pairs = _overlapping_workload(seed=2, distinct=10, queries=60)
+
+    def run():
+        clear_caches()
+        return nka_equal_many(pairs)
+
+    results = benchmark(run)
+    # Measure per-round compilations on one fresh run (benchmark rounds and
+    # earlier tests leave cumulative counters behind).
+    clear_caches(reset_stats=True)
+    run()
+    stats = cache_stats()
+    report("REM2.1/batched",
+           "batch compiles each distinct expression once",
+           f"{len(pairs)} queries, {sum(results)} equal, "
+           f"{stats['decision.wfa'].misses} compilations per round")
 
 
 @pytest.mark.parametrize("letters", [2, 3, 4])
@@ -59,6 +134,7 @@ def test_decision_scaling_alphabet(benchmark, letters):
     ]
 
     def run():
+        clear_caches()  # keep this a *cold* scaling measurement
         return [nka_equal_detailed(l, r) for l, r in pairs]
 
     results = benchmark(run)

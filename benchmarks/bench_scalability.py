@@ -16,6 +16,8 @@ Expected shape: algebraic flat, semantic exploding; the crossover sits at
 1–2 qubits on this machine.
 """
 
+import random
+
 import numpy as np
 import pytest
 
@@ -24,7 +26,8 @@ from repro.applications.optimization import (
     prove_loop_unrolling,
     unrolling_programs,
 )
-from repro.core.expr import Symbol
+from repro.core.decision import cache_stats, clear_caches, nka_equal_many
+from repro.core.expr import ONE, Product, Star, Sum, Symbol
 from repro.core.hypotheses import projective_measurement
 from repro.programs.semantics import denotation
 from repro.programs.syntax import Unitary
@@ -45,6 +48,44 @@ def test_scale_algebraic_derivation(benchmark):
     report("SCALE/algebraic",
            "derivation cost independent of system size",
            f"{len(proof.steps)} steps, zero matrices")
+
+
+@pytest.mark.parametrize("batch", [25, 100])
+def test_scale_repeated_decision_traffic(benchmark, batch):
+    """Serving-shaped traffic: overlapping equality queries, asked twice.
+
+    The second pass over the workload must be dominated by cache hits —
+    the headline win of the hash-consed, memoized compile pipeline.
+    """
+    rng = random.Random(batch)
+    m0, m1, p = Symbol("m0"), Symbol("m1"), Symbol("p")
+    seeds = [m0, m1, p, Product(m0, p), Star(Product(m0, p))]
+    pairs = []
+    for _ in range(batch):
+        left = rng.choice(seeds)
+        right = rng.choice(seeds)
+        pairs.append((Sum(ONE, Product(left, Star(left))), Star(left)))
+        pairs.append((Product(Star(Product(left, right)), left),
+                      Product(left, Star(Product(right, left)))))
+
+    def run():
+        clear_caches()
+        first = nka_equal_many(pairs)
+        second = nka_equal_many(pairs)  # all verdict-cache hits
+        assert first == second
+        return first
+
+    results = benchmark(run)
+    assert all(results)
+    # Per-round hit rate from one fresh run (session counters are cumulative).
+    clear_caches(reset_stats=True)
+    run()
+    stats = cache_stats()["decision.results"]
+    total = stats.hits + stats.misses
+    report(f"SCALE/traffic-{batch}",
+           "caching amortises the automaton pipeline across queries",
+           f"{2 * len(pairs)} queries per round, verdict cache served "
+           f"{stats.hits}/{total} lookups")
 
 
 @pytest.mark.parametrize("qubits", QUBIT_RANGE)

@@ -23,6 +23,12 @@ registers; this module implements that induction *constructively*:
 The paper's two-loop worked example (``Original`` / ``Constructed``) is
 exposed by :func:`section6_example_programs`, and the NKA derivation shown
 in Section 6 is replayed step-by-step by :func:`prove_section6_example`.
+
+This module is the hottest caller of the equational pipeline: the Section 6
+replay flattens the same guard expressions thousands of times, which is why
+``flatten`` is memoized on hash-consed nodes (see :mod:`repro.core.rewrite`)
+and why batched checks should prefer
+:func:`repro.core.decision.nka_equal_many`.
 """
 
 from __future__ import annotations
@@ -34,7 +40,8 @@ import numpy as np
 
 from repro.core.expr import Expr, ONE, Symbol, ZERO
 from repro.core.hypotheses import HypothesisSet, commuting, guard_algebra
-from repro.core.proof import CheckedProof, Equation, Proof
+from repro.core.proof import CheckedProof, Equation, Proof, apply_conditional_law
+from repro.core.rewrite import flatten, rewrite_candidates, unflatten
 from repro.core.theorems import (
     DENESTING,
     DENESTING_RIGHT,
@@ -462,8 +469,6 @@ def _prove_guard_kills_star(
     current = g + g * body * body.star()
     if first_hyp is not None:
         # e.g. g1 g>0 = g1 before g1 g>1 = 0 fires.
-        from repro.core.rewrite import flatten, rewrite_candidates, unflatten
-
         candidates = list(
             rewrite_candidates(flatten(current), first_hyp.lhs, first_hyp.rhs,
                                frozenset(), limit=10000)
@@ -561,8 +566,6 @@ def prove_section6_example() -> Tuple[CheckedProof, HypothesisSet]:
     checked_premise = premise_proof_g2a.step(
         m21 * p2 * g2, by=hyps.named(f"{g2}{p2}={p2}{g2}")
     ).qed(m21 * p2 * g2)
-    from repro.core.proof import apply_conditional_law
-
     star_rewrite_g2 = apply_conditional_law(
         STAR_REWRITE,
         {"p": g2, "q": a, "r": m21 * p2},

@@ -28,11 +28,10 @@ from fractions import Fraction
 from typing import List, Optional, Tuple
 
 from repro.automata.linalg import RowSpace, Vector, dot
-from repro.automata.nfa import determinize, dfa_equivalent
+from repro.automata.nfa import dfa_equivalent
 from repro.automata.wfa import (
     WFA,
     drop_infinite_weights,
-    infinity_support_nfa,
     restrict_to_dfa,
 )
 from repro.util.errors import DecisionError
@@ -128,10 +127,16 @@ def _vector_matrix(row: List[Fraction], wfa: WFA, letter: str) -> List[Fraction]
 
 
 def wfa_equivalent(left: WFA, right: WFA) -> EquivalenceResult:
-    """Full ``N̄`` behavioural equality of two weighted automata."""
+    """Full ``N̄`` behavioural equality of two weighted automata.
+
+    The determinized infinity supports are memoized on the automata
+    (:meth:`repro.automata.wfa.WFA.support_dfa`), so comparing one cached
+    automaton against many others re-runs the subset construction only for
+    the newcomers.
+    """
     # Stage 1: compare the regular languages of infinite-coefficient words.
-    left_dfa = determinize(infinity_support_nfa(left))
-    right_dfa = determinize(infinity_support_nfa(right))
+    left_dfa = left.support_dfa()
+    right_dfa = right.support_dfa()
     same_support, witness = dfa_equivalent(left_dfa, right_dfa)
     if not same_support:
         assert witness is not None

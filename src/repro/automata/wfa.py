@@ -12,7 +12,10 @@ live in ``N̄``.  This module provides:
   Thompson-style construction followed by exact ε-elimination (the ε-closure
   is ``E*`` for the ε-weight matrix ``E``, so ε-cycles — which arise from
   ``e*`` when ``{{e}}[ε] ≥ 1`` — correctly produce ``∞`` weights, e.g.
-  ``{{1*}}[ε] = ∞``);
+  ``{{1*}}[ε] = ∞``).  The construction is *compositional*: each subterm
+  compiles to a relocatable :class:`_Fragment` (states numbered locally,
+  start = 0, end = 1) memoized per hash-consed expression node, so shared
+  subautomata are built once per process and spliced by offsetting;
 * :func:`infinity_support_nfa` — the Boolean NFA recognising the words whose
   coefficient is ``∞`` (used by the equality check);
 * :func:`drop_infinite_weights` / :func:`restrict_to_dfa` — the surgery
@@ -39,7 +42,8 @@ from repro.core.expr import (
     alphabet as expr_alphabet,
 )
 from repro.core.semiring import ExtNat, INF, ONE, ZERO
-from repro.automata.nfa import DFA, NFA
+from repro.automata.nfa import DFA, NFA, determinize
+from repro.util.cache import LRUCache
 
 __all__ = [
     "WFA",
@@ -138,6 +142,18 @@ class WFA:
     initial: List[ExtNat]
     final: List[ExtNat]
     matrices: Dict[str, Matrix] = field(default_factory=dict)
+    _support_dfa: "DFA" = field(default=None, repr=False, compare=False)
+
+    def support_dfa(self) -> DFA:
+        """The determinized infinity-support automaton, computed once.
+
+        The decision procedure's WFA cache keeps compiled automata alive
+        across queries, so memoizing the subset construction here lets every
+        later equivalence query against this automaton skip it entirely.
+        """
+        if self._support_dfa is None:
+            self._support_dfa = determinize(infinity_support_nfa(self))
+        return self._support_dfa
 
     def matrix(self, letter: str) -> Matrix:
         if letter not in self.matrices:
@@ -223,49 +239,83 @@ def _closure(seed: Set[int], edges: Dict[int, Set[int]]) -> Set[int]:
 # -- Thompson construction -----------------------------------------------------
 
 
-class _Builder:
-    """Mutable scratch automaton with ε-transitions, finalised by ε-elimination."""
+@dataclass(frozen=True)
+class _Fragment:
+    """A relocatable ε-automaton for one subexpression.
 
-    def __init__(self, alphabet: FrozenSet[str]):
-        self.alphabet = alphabet
-        self.count = 0
-        self.epsilon: List[Tuple[int, int]] = []
-        self.letters: List[Tuple[int, str, int]] = []
+    States are ``0..count-1`` with the convention start = 0, end = 1, so a
+    fragment can be spliced into a parent by shifting every state by an
+    offset.  ``epsilon`` is a *multiset* of edges (duplicates carry weight —
+    multiplicities matter over ``N̄``).  Fragments are immutable and memoized
+    per hash-consed expression node, so repeated compilations — and repeated
+    *subterms* within one compilation — reuse the same tuples.
+    """
 
-    def fresh(self) -> int:
-        state = self.count
-        self.count += 1
-        return state
+    count: int
+    epsilon: Tuple[Tuple[int, int], ...]
+    letters: Tuple[Tuple[int, str, int], ...]
 
-    def build(self, expr: Expr) -> Tuple[int, int]:
-        """Return (start, end) states for ``expr`` (Thompson construction)."""
-        start, end = self.fresh(), self.fresh()
-        if isinstance(expr, Zero):
-            pass  # no path from start to end
-        elif isinstance(expr, One):
-            self.epsilon.append((start, end))
-        elif isinstance(expr, Symbol):
-            self.letters.append((start, expr.name, end))
-        elif isinstance(expr, Sum):
-            for child in (expr.left, expr.right):
-                sub_start, sub_end = self.build(child)
-                self.epsilon.append((start, sub_start))
-                self.epsilon.append((sub_end, end))
-        elif isinstance(expr, Product):
-            left_start, left_end = self.build(expr.left)
-            right_start, right_end = self.build(expr.right)
-            self.epsilon.append((start, left_start))
-            self.epsilon.append((left_end, right_start))
-            self.epsilon.append((right_end, end))
-        elif isinstance(expr, Star):
-            sub_start, sub_end = self.build(expr.body)
-            self.epsilon.append((start, end))
-            self.epsilon.append((start, sub_start))
-            self.epsilon.append((sub_end, sub_start))
-            self.epsilon.append((sub_end, end))
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown expression node {expr!r}")
-        return start, end
+
+# Deliberate trade-off: composing fragments copies every descendant edge at
+# each level, i.e. Θ(Σ subtree sizes) versus the linear appends of a mutable
+# builder.  At any automaton size this pipeline can feasibly ε-eliminate
+# (matrix_star is Θ(n³) in exact ``N̄`` arithmetic — minutes at n≈500) the
+# copying is sub-millisecond noise, and in exchange fragments are immutable,
+# memoizable, and shared across compilations.
+
+
+_FRAGMENT_CACHE = LRUCache("wfa.fragments", maxsize=1 << 14)
+
+
+def _fragment(expr: Expr) -> _Fragment:
+    """Thompson fragment of ``expr`` (memoized on the interned node)."""
+    if isinstance(expr, Zero):
+        return _Fragment(2, (), ())  # no path from start to end
+    if isinstance(expr, One):
+        return _Fragment(2, ((0, 1),), ())
+    if isinstance(expr, Symbol):
+        return _Fragment(2, (), ((0, expr.name, 1),))
+    cached = _FRAGMENT_CACHE.get(expr)
+    if cached is not None:
+        return cached
+    if isinstance(expr, Sum):
+        left, right = _fragment(expr.left), _fragment(expr.right)
+        left_at, right_at = 2, 2 + left.count
+        epsilon = (
+            (0, left_at), (left_at + 1, 1),
+            (0, right_at), (right_at + 1, 1),
+        ) + _shift_eps(left, left_at) + _shift_eps(right, right_at)
+        letters = _shift_letters(left, left_at) + _shift_letters(right, right_at)
+        result = _Fragment(right_at + right.count, epsilon, letters)
+    elif isinstance(expr, Product):
+        left, right = _fragment(expr.left), _fragment(expr.right)
+        left_at, right_at = 2, 2 + left.count
+        epsilon = (
+            (0, left_at), (left_at + 1, right_at), (right_at + 1, 1),
+        ) + _shift_eps(left, left_at) + _shift_eps(right, right_at)
+        letters = _shift_letters(left, left_at) + _shift_letters(right, right_at)
+        result = _Fragment(right_at + right.count, epsilon, letters)
+    elif isinstance(expr, Star):
+        body = _fragment(expr.body)
+        body_at = 2
+        epsilon = (
+            (0, 1), (0, body_at), (body_at + 1, body_at), (body_at + 1, 1),
+        ) + _shift_eps(body, body_at)
+        result = _Fragment(body_at + body.count, epsilon, _shift_letters(body, body_at))
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown expression node {expr!r}")
+    _FRAGMENT_CACHE.put(expr, result)
+    return result
+
+
+def _shift_eps(fragment: _Fragment, offset: int) -> Tuple[Tuple[int, int], ...]:
+    return tuple((i + offset, j + offset) for i, j in fragment.epsilon)
+
+
+def _shift_letters(
+    fragment: _Fragment, offset: int
+) -> Tuple[Tuple[int, str, int], ...]:
+    return tuple((i + offset, a, j + offset) for i, a, j in fragment.letters)
 
 
 def expr_to_wfa(expr: Expr, extra_alphabet: FrozenSet[str] = frozenset()) -> WFA:
@@ -277,14 +327,21 @@ def expr_to_wfa(expr: Expr, extra_alphabet: FrozenSet[str] = frozenset()) -> WFA
     sets ``α' = α·C`` and ``M'(a) = M(a)·C`` so that
     ``α'·M'(a1)…M'(ak)·η = α·C·M(a1)·C·…·M(ak)·C·η``, the sum over all runs
     interleaved with arbitrarily many ε-steps.
+
+    Subautomata are memoized: the Thompson fragment of every composite
+    subterm is cached per interned node (see :class:`_Fragment`), so only
+    the ε-elimination — which depends on the whole expression — runs anew.
+    Callers wanting whole-result caching should go through
+    :func:`repro.core.decision.nka_equal` and friends, which keep compiled
+    automata in a bounded LRU.
     """
     sigma = frozenset(expr_alphabet(expr)) | extra_alphabet
-    builder = _Builder(sigma)
-    start, end = builder.build(expr)
-    n = builder.count
+    fragment = _fragment(expr)
+    n = fragment.count
+    start, end = 0, 1
 
     eps = _zeros(n, n)
-    for i, j in builder.epsilon:
+    for i, j in fragment.epsilon:
         eps[i][j] = eps[i][j] + ONE
     closure = matrix_star(eps)
 
@@ -294,7 +351,7 @@ def expr_to_wfa(expr: Expr, extra_alphabet: FrozenSet[str] = frozenset()) -> WFA
         initial=[closure[start][j] for j in range(n)],
         final=[ONE if i == end else ZERO for i in range(n)],
     )
-    for source, letter, target in builder.letters:
+    for source, letter, target in fragment.letters:
         matrix = wfa.matrix(letter)
         for j in range(n):
             if not closure[target][j].is_zero:

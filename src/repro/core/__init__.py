@@ -11,7 +11,17 @@ Public surface:
 * the decision procedure for ``⊢NKA e = f`` — :mod:`repro.core.decision`.
 """
 
-from repro.core.decision import coefficient, nka_equal, nka_equal_detailed, nka_leq_refute
+from repro.core.decision import (
+    cache_stats,
+    clear_caches,
+    coefficient,
+    configure_caches,
+    nka_equal,
+    nka_equal_detailed,
+    nka_equal_many,
+    nka_equal_many_detailed,
+    nka_leq_refute,
+)
 from repro.core.expr import (
     Expr,
     ONE,
@@ -68,8 +78,13 @@ __all__ = [
     "INF",
     "nka_equal",
     "nka_equal_detailed",
+    "nka_equal_many",
+    "nka_equal_many_detailed",
     "nka_leq_refute",
     "coefficient",
+    "cache_stats",
+    "clear_caches",
+    "configure_caches",
     "ac_equivalent",
     "Proof",
     "CheckedProof",

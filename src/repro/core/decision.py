@@ -20,49 +20,158 @@ interpretation separating the two expressions).
 Inequality ``e ≤ f`` is *undecidable* in general (Eilenberg, cited in
 Remark 2.1), so only a refutation-complete bounded check is offered
 (:func:`nka_leq_refute`).
+
+Caching contract
+----------------
+
+Every query funnels through ``Expr → flatten → expr_to_wfa →
+wfa_equivalent``; because expressions are hash-consed
+(:mod:`repro.core.expr`), each stage memoizes on node *identity*:
+
+* compiled automata live in a bounded LRU keyed by ``(expr, alphabet)``
+  (``decision.wfa``) — repeated and overlapping queries compile once;
+* full equivalence verdicts live in a second LRU keyed by the expression
+  pair (``decision.results``), stored symmetrically, so re-asking the same
+  question is O(1);
+* upstream memos (``rewrite.flatten``, ``wfa.fragments``,
+  ``expr.alphabet``) are registered in the same registry.
+
+All caches are *bounded* with least-recently-used eviction — unlike the
+former ad-hoc dict that wiped itself wholesale at a size threshold — and
+eviction never changes answers, only timing.  Long-lived processes can
+inspect hit rates via :func:`cache_stats` and release memory with
+:func:`clear_caches`; :func:`configure_caches` resizes capacities (e.g. for
+memory-constrained serving).  For workloads that ask many related questions
+at once, :func:`nka_equal_many` shares compilation across the whole batch.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.automata.equivalence import EquivalenceResult, wfa_equivalent
 from repro.automata.wfa import WFA, expr_to_wfa
 from repro.core.expr import Expr, alphabet
 from repro.core.semiring import ExtNat
+from repro.util.cache import CacheStats, LRUCache, all_cache_stats, clear_all_caches
 
 __all__ = [
     "nka_equal",
     "nka_equal_detailed",
+    "nka_equal_many",
+    "nka_equal_many_detailed",
     "coefficient",
     "nka_leq_refute",
+    "cache_stats",
+    "clear_caches",
+    "configure_caches",
 ]
 
-_WFA_CACHE: dict = {}
-_CACHE_LIMIT = 4096
+_WFA_CACHE = LRUCache("decision.wfa", maxsize=4096)
+_RESULT_CACHE = LRUCache("decision.results", maxsize=8192)
+
+
+def cache_stats() -> Dict[str, CacheStats]:
+    """Hit/miss/eviction counters for every pipeline cache, keyed by name.
+
+    Includes the compile cache (``decision.wfa``), the verdict cache
+    (``decision.results``) and the upstream memos (``rewrite.flatten``,
+    ``wfa.fragments``, ``expr.alphabet``).
+    """
+    return all_cache_stats()
+
+
+def clear_caches(reset_stats: bool = False) -> None:
+    """Empty every pipeline cache (a pure memo reset — answers never change).
+
+    Use in long-lived processes to release memory, or in tests/benchmarks
+    to force cold-cache behaviour.  The weak intern tables of
+    :mod:`repro.core.expr` need no clearing (entries vanish with their
+    expressions); this only drops derived artefacts.
+    """
+    clear_all_caches(reset_stats=reset_stats)
+
+
+def configure_caches(
+    wfa_capacity: Optional[int] = None, result_capacity: Optional[int] = None
+) -> None:
+    """Resize the decision-procedure caches (shrinking evicts LRU entries)."""
+    if wfa_capacity is not None:
+        _WFA_CACHE.resize(wfa_capacity)
+    if result_capacity is not None:
+        _RESULT_CACHE.resize(result_capacity)
 
 
 def _compile(expr: Expr, sigma: frozenset) -> WFA:
+    """Compile through the bounded LRU (hit = pointer lookup on interned key)."""
     key = (expr, sigma)
     cached = _WFA_CACHE.get(key)
     if cached is not None:
         return cached
     wfa = expr_to_wfa(expr, extra_alphabet=sigma)
-    if len(_WFA_CACHE) >= _CACHE_LIMIT:
-        _WFA_CACHE.clear()
-    _WFA_CACHE[key] = wfa
+    _WFA_CACHE.put(key, wfa)
     return wfa
+
+
+def _decide(left: Expr, right: Expr, sigma: frozenset) -> EquivalenceResult:
+    """Decide with verdict caching; results are stored symmetrically.
+
+    ``sigma`` must contain the alphabets of both sides.  The verdict does
+    not depend on which superset is used: letters outside both expressions
+    have all-zero transition weights on both sides, so they can never occur
+    in a distinguishing word nor flip equality — hence one cache entry per
+    unordered pair serves every enclosing batch alphabet.
+    """
+    if left is right:
+        # Hash-consing makes syntactic equality pointer identity, and equal
+        # syntax trivially has equal series — no automaton needed.
+        return EquivalenceResult(
+            equal=True, counterexample=None, reason="syntactically identical"
+        )
+    key = (left, right)
+    cached = _RESULT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = wfa_equivalent(_compile(left, sigma), _compile(right, sigma))
+    _RESULT_CACHE.put(key, result)
+    _RESULT_CACHE.put((right, left), result)
+    return result
 
 
 def nka_equal_detailed(left: Expr, right: Expr) -> EquivalenceResult:
     """Decide ``⊢NKA left = right`` and report how it was decided."""
     sigma = frozenset(alphabet(left) | alphabet(right))
-    return wfa_equivalent(_compile(left, sigma), _compile(right, sigma))
+    return _decide(left, right, sigma)
 
 
 def nka_equal(left: Expr, right: Expr) -> bool:
     """Decide ``⊢NKA left = right`` (True iff derivable from the NKA axioms)."""
     return nka_equal_detailed(left, right).equal
+
+
+def nka_equal_many_detailed(
+    pairs: Iterable[Tuple[Expr, Expr]]
+) -> List[EquivalenceResult]:
+    """Decide a batch of queries, sharing compilation across the batch.
+
+    All expressions are compiled over the *union* alphabet of the batch, so
+    an expression appearing in several pairs (the common case in axiom
+    sweeps and normal-form checking) is compiled exactly once regardless of
+    which partner it is compared against.  Verdicts agree with the
+    one-at-a-time API (see :func:`_decide` on alphabet independence) and
+    land in the same caches.
+    """
+    pairs = list(pairs)
+    sigma_parts = set()
+    for left, right in pairs:
+        sigma_parts |= alphabet(left) | alphabet(right)
+    sigma = frozenset(sigma_parts)
+    return [_decide(left, right, sigma) for left, right in pairs]
+
+
+def nka_equal_many(pairs: Iterable[Tuple[Expr, Expr]]) -> List[bool]:
+    """Batched :func:`nka_equal`: one bool per pair, compilation shared."""
+    return [result.equal for result in nka_equal_many_detailed(pairs)]
 
 
 def coefficient(expr: Expr, word: Sequence[str]) -> ExtNat:

@@ -19,6 +19,34 @@ Two structural views coexist:
   ``+`` as an n-ary multiset and ``·`` as an n-ary sequence, which is the
   representation the rewrite engine and the decision procedure work with.
 
+Hash-consing contract
+---------------------
+
+Expression nodes are **interned** (hash-consed): every constructor first
+consults a per-process intern table, so structurally equal terms are
+*pointer-identical*::
+
+    Sum(a, b) is Sum(a, b)        # always True
+    (a * b).star() is (a * b).star()
+
+Consequences that the rest of the pipeline relies on:
+
+* ``==`` **is identity** — syntactic equality in O(1) instead of a tree
+  walk.  ``hash`` is the identity hash, also O(1), so expressions are cheap
+  dictionary keys and every memo table downstream (``flatten``,
+  ``expr_to_wfa``, the decision-procedure caches) can key on nodes directly.
+* Shared subterms are stored once; an expression is physically a DAG even
+  though the API presents a tree.
+* The intern tables hold only **weak** references: an expression no longer
+  reachable from user code is garbage-collected and its table entry
+  disappears, so interning never leaks in long-lived processes and no
+  manual clearing is required (:func:`intern_stats` reports live sizes).
+  The derived *memo* caches do hold strong references; clear those with
+  :func:`repro.core.decision.clear_caches`.
+* Pickling and ``copy``/``deepcopy`` re-enter the constructors
+  (``__reduce__``), so deserialised expressions re-intern and the identity
+  invariant survives round-trips.
+
 Equality (``==``) is purely syntactic on the binary tree.  Use
 :func:`repro.core.decision.nka_equal` for provable equality, or
 :func:`repro.core.rewrite.ac_equivalent` for equality modulo associativity,
@@ -27,9 +55,12 @@ commutativity of ``+`` and the unit/annihilator laws.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from functools import reduce
 from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple, Union
+
+from repro.util.cache import LRUCache
 
 __all__ = [
     "Expr",
@@ -52,13 +83,18 @@ __all__ = [
     "star_height",
     "substitute",
     "subterms",
+    "intern_stats",
 ]
 
 
 class Expr:
-    """Base class of NKA expressions.  Subclasses are frozen dataclasses."""
+    """Base class of NKA expressions.  Subclasses are frozen dataclasses.
 
-    __slots__ = ()
+    All six constructors intern their result (see the module docstring):
+    ``==`` and ``hash`` are identity-based and O(1).
+    """
+
+    __slots__ = ("__weakref__",)
 
     # -- constructors via operators -----------------------------------------
 
@@ -104,27 +140,58 @@ def _as_expr(value: Union[Expr, int, str]) -> Expr:
     raise TypeError(f"cannot interpret {value!r} as an NKA expression")
 
 
-@dataclass(frozen=True, repr=False)
+# Intern tables.  Values are weak so unreachable expressions are collected;
+# keys of the composite tables hold the (already interned) children, whose
+# identity hashes make every lookup O(1).
+_INTERN_SYMBOL: "weakref.WeakValueDictionary[str, Symbol]" = weakref.WeakValueDictionary()
+_INTERN_SUM: "weakref.WeakValueDictionary[Tuple[Expr, Expr], Sum]" = weakref.WeakValueDictionary()
+_INTERN_PRODUCT: "weakref.WeakValueDictionary[Tuple[Expr, Expr], Product]" = weakref.WeakValueDictionary()
+_INTERN_STAR: "weakref.WeakValueDictionary[Expr, Star]" = weakref.WeakValueDictionary()
+
+
+@dataclass(frozen=True, repr=False, eq=False)
 class Zero(Expr):
-    """The additive identity ``0`` (also encodes ``abort``)."""
+    """The additive identity ``0`` (also encodes ``abort``).  A singleton."""
 
     __slots__ = ()
+    _instance = None
+
+    def __new__(cls) -> "Zero":
+        inst = cls._instance
+        if inst is None:
+            inst = super().__new__(cls)
+            cls._instance = inst
+        return inst
+
+    def __reduce__(self):
+        return (Zero, ())
 
     def __str__(self) -> str:
         return "0"
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, eq=False)
 class One(Expr):
-    """The multiplicative identity ``1`` (also encodes ``skip``)."""
+    """The multiplicative identity ``1`` (also encodes ``skip``).  A singleton."""
 
     __slots__ = ()
+    _instance = None
+
+    def __new__(cls) -> "One":
+        inst = cls._instance
+        if inst is None:
+            inst = super().__new__(cls)
+            cls._instance = inst
+        return inst
+
+    def __reduce__(self):
+        return (One, ())
 
     def __str__(self) -> str:
         return "1"
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, eq=False)
 class Symbol(Expr):
     """An atomic symbol ``a ∈ Σ``."""
 
@@ -132,15 +199,29 @@ class Symbol(Expr):
 
     __slots__ = ("name",)
 
-    def __post_init__(self):
-        if not self.name:
-            raise ValueError("symbol name must be non-empty")
+    def __new__(cls, name: str) -> "Symbol":
+        inst = _INTERN_SYMBOL.get(name)
+        if inst is None:
+            if not isinstance(name, str):
+                raise TypeError(f"symbol name must be a string, got {name!r}")
+            if not name:
+                raise ValueError("symbol name must be non-empty")
+            inst = super().__new__(cls)
+            object.__setattr__(inst, "name", name)
+            _INTERN_SYMBOL[name] = inst
+        return inst
+
+    def __init__(self, name: str):
+        pass  # fields are set in __new__ exactly once per interned node
+
+    def __reduce__(self):
+        return (Symbol, (self.name,))
 
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, eq=False)
 class Sum(Expr):
     """A binary sum ``left + right``."""
 
@@ -149,11 +230,31 @@ class Sum(Expr):
 
     __slots__ = ("left", "right")
 
+    def __new__(cls, left: Expr, right: Expr) -> "Sum":
+        if not isinstance(left, Expr):
+            left = _as_expr(left)
+        if not isinstance(right, Expr):
+            right = _as_expr(right)
+        key = (left, right)
+        inst = _INTERN_SUM.get(key)
+        if inst is None:
+            inst = super().__new__(cls)
+            object.__setattr__(inst, "left", left)
+            object.__setattr__(inst, "right", right)
+            _INTERN_SUM[key] = inst
+        return inst
+
+    def __init__(self, left: Expr, right: Expr):
+        pass  # fields are set in __new__ exactly once per interned node
+
+    def __reduce__(self):
+        return (Sum, (self.left, self.right))
+
     def children(self) -> Tuple[Expr, ...]:
         return (self.left, self.right)
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, eq=False)
 class Product(Expr):
     """A binary product ``left · right`` (sequential composition)."""
 
@@ -162,11 +263,31 @@ class Product(Expr):
 
     __slots__ = ("left", "right")
 
+    def __new__(cls, left: Expr, right: Expr) -> "Product":
+        if not isinstance(left, Expr):
+            left = _as_expr(left)
+        if not isinstance(right, Expr):
+            right = _as_expr(right)
+        key = (left, right)
+        inst = _INTERN_PRODUCT.get(key)
+        if inst is None:
+            inst = super().__new__(cls)
+            object.__setattr__(inst, "left", left)
+            object.__setattr__(inst, "right", right)
+            _INTERN_PRODUCT[key] = inst
+        return inst
+
+    def __init__(self, left: Expr, right: Expr):
+        pass  # fields are set in __new__ exactly once per interned node
+
+    def __reduce__(self):
+        return (Product, (self.left, self.right))
+
     def children(self) -> Tuple[Expr, ...]:
         return (self.left, self.right)
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, eq=False)
 class Star(Expr):
     """The Kleene star ``body*``."""
 
@@ -174,12 +295,38 @@ class Star(Expr):
 
     __slots__ = ("body",)
 
+    def __new__(cls, body: Expr) -> "Star":
+        if not isinstance(body, Expr):
+            body = _as_expr(body)
+        inst = _INTERN_STAR.get(body)
+        if inst is None:
+            inst = super().__new__(cls)
+            object.__setattr__(inst, "body", body)
+            _INTERN_STAR[body] = inst
+        return inst
+
+    def __init__(self, body: Expr):
+        pass  # fields are set in __new__ exactly once per interned node
+
+    def __reduce__(self):
+        return (Star, (self.body,))
+
     def children(self) -> Tuple[Expr, ...]:
         return (self.body,)
 
 
 ZERO = Zero()
 ONE = One()
+
+
+def intern_stats() -> Dict[str, int]:
+    """Live entry counts of the weak intern tables (for diagnostics)."""
+    return {
+        "symbol": len(_INTERN_SYMBOL),
+        "sum": len(_INTERN_SUM),
+        "product": len(_INTERN_PRODUCT),
+        "star": len(_INTERN_STAR),
+    }
 
 
 def sym(name: str) -> Symbol:
@@ -226,13 +373,20 @@ def product_factors(expr: Expr) -> List[Expr]:
     return [expr]
 
 
+_ALPHABET_CACHE = LRUCache("expr.alphabet", maxsize=1 << 16)
+
+
 def alphabet(expr: Expr) -> FrozenSet[str]:
-    """The set of symbol names occurring in ``expr``."""
+    """The set of symbol names occurring in ``expr`` (memoized per node)."""
     if isinstance(expr, Symbol):
         return frozenset((expr.name,))
+    cached = _ALPHABET_CACHE.get(expr)
+    if cached is not None:
+        return cached
     collected: FrozenSet[str] = frozenset()
     for child in expr.children():
         collected |= alphabet(child)
+    _ALPHABET_CACHE.put(expr, collected)
     return collected
 
 

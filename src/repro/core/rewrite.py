@@ -19,6 +19,13 @@ law ``0·p = p·0 = 0``.  This module implements that structural theory:
 
 All functions are pure; terms are hashable and comparable, so
 :func:`ac_equivalent` is simply flatten-and-compare.
+
+:func:`flatten` is memoized per expression node: since expressions are
+hash-consed (:mod:`repro.core.expr`), structurally equal subterms are
+pointer-identical and the memo table is keyed on node identity — a proof
+replay that normalises the same subterm thousands of times flattens it
+once.  The memo is a bounded LRU registered with :mod:`repro.util.cache`
+(cleared by :func:`repro.core.decision.clear_caches`).
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from repro.core.expr import (
     product_of,
     sum_of,
 )
+from repro.util.cache import LRUCache
 
 __all__ = [
     "FTerm",
@@ -187,21 +195,34 @@ def make_prod(args: Sequence[FTerm]) -> FTerm:
     return FProd(tuple(collected))
 
 
+_FLATTEN_CACHE = LRUCache("rewrite.flatten", maxsize=1 << 16)
+
+
 def flatten(expr: Expr) -> FTerm:
-    """Normalise an expression into its flattened canonical form."""
+    """Normalise an expression into its flattened canonical form.
+
+    Memoized per node (expressions are interned, so the cache key is the
+    node itself); repeated normalisation of shared subterms is O(1).
+    """
     if isinstance(expr, Zero):
         return _FZERO
     if isinstance(expr, One):
         return _FONE
     if isinstance(expr, Symbol):
         return FSym(expr.name)
+    cached = _FLATTEN_CACHE.get(expr)
+    if cached is not None:
+        return cached
     if isinstance(expr, Sum):
-        return make_sum([flatten(expr.left), flatten(expr.right)])
-    if isinstance(expr, Product):
-        return make_prod([flatten(expr.left), flatten(expr.right)])
-    if isinstance(expr, Star):
-        return FStar(flatten(expr.body))
-    raise TypeError(f"unknown expression node {expr!r}")  # pragma: no cover
+        result = make_sum([flatten(expr.left), flatten(expr.right)])
+    elif isinstance(expr, Product):
+        result = make_prod([flatten(expr.left), flatten(expr.right)])
+    elif isinstance(expr, Star):
+        result = FStar(flatten(expr.body))
+    else:
+        raise TypeError(f"unknown expression node {expr!r}")  # pragma: no cover
+    _FLATTEN_CACHE.put(expr, result)
+    return result
 
 
 def unflatten(term: FTerm) -> Expr:

@@ -83,12 +83,25 @@ class ExtendedPositive:
         compressed = finite_projector @ finite_part @ finite_projector
         # Sanitise compression dust: a finite part that is numerically zero
         # everywhere is exactly zero (keeps iterated stars from amplifying
-        # 1e-16 residue into phantom divergence).
-        if np.abs(compressed).max(initial=0.0) < 1e-12:
+        # 1e-16 residue into phantom divergence).  The dust bound scales
+        # with the *pre-compression* magnitude — projecting away a
+        # divergent direction of size ~1e150 leaves ~eps-relative residue
+        # (~1e136) that is "zero" at that scale — but stays a few orders
+        # above machine eps so a genuine small finite part coexisting with
+        # a large projected-away direction survives.
+        pre_scale = float(np.abs(finite_part).max(initial=0.0))
+        if np.abs(compressed).max(initial=0.0) < max(1e-12, 1e-14 * pre_scale):
             compressed = np.zeros_like(compressed)
         self.finite_part = compressed
         self.atol = atol
-        if not is_positive_semidefinite(self.finite_part, atol=1e-6):
+        # PSD tolerance is relative to the matrix actually being checked
+        # (post-compression): eigenvalue error of a Hermitian float matrix
+        # is ~eps·‖A‖, so 1e-9-relative gives wide margin while still
+        # rejecting genuinely negative directions.
+        psd_scale = float(np.abs(compressed).max(initial=0.0))
+        if not is_positive_semidefinite(
+            self.finite_part, atol=max(1e-6, 1e-9 * psd_scale)
+        ):
             raise ValueError("finite part must be positive semidefinite")
 
     # -- constructors -------------------------------------------------------------

@@ -1,0 +1,150 @@
+"""Bounded LRU caches with inspectable statistics.
+
+Every memo table in the compile pipeline (``Expr → flatten → expr_to_wfa →
+wfa_equivalent``) is an :class:`LRUCache` registered here, so long-lived
+processes can inspect hit rates (:func:`all_cache_stats`) and release memory
+deterministically (:func:`clear_all_caches`) through one façade —
+re-exported as :func:`repro.core.decision.cache_stats` /
+:func:`repro.core.decision.clear_caches`.
+
+Unlike :func:`functools.lru_cache` this works on caches keyed by
+*identities* of hash-consed expressions (see :mod:`repro.core.expr`), keeps
+eviction observable for regression tests, and supports resizing at runtime.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "all_cache_stats",
+    "clear_all_caches",
+    "lookup_cache",
+]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of one cache's counters (all monotone except ``currsize``)."""
+
+    name: str
+    maxsize: int
+    currsize: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.currsize}/{self.maxsize} entries, "
+            f"{self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.1%}), {self.evictions} evicted"
+        )
+
+
+_REGISTRY: "OrderedDict[str, LRUCache]" = OrderedDict()
+
+
+class LRUCache:
+    """A bounded least-recently-used map with hit/miss/eviction counters.
+
+    ``get`` refreshes recency; ``put`` evicts the *least recently used*
+    entries (never the whole table — contrast the old ``_WFA_CACHE`` that
+    wiped everything at a threshold) until ``len(self) <= maxsize``.
+    """
+
+    __slots__ = ("name", "_maxsize", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, name: str, maxsize: int, register: bool = True):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.name = name
+        self._maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        if register:
+            _REGISTRY[name] = self
+
+    # -- mapping operations ---------------------------------------------------
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        while len(data) > self._maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    # -- management -----------------------------------------------------------
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def resize(self, maxsize: int) -> None:
+        """Change the capacity, evicting LRU entries if shrinking."""
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self._maxsize = maxsize
+        while len(self._data) > maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self, reset_stats: bool = False) -> None:
+        self._data.clear()
+        if reset_stats:
+            self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            name=self.name,
+            maxsize=self._maxsize,
+            currsize=len(self._data),
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+        )
+
+
+def lookup_cache(name: str) -> Optional[LRUCache]:
+    """The registered cache of that name, or ``None``."""
+    return _REGISTRY.get(name)
+
+
+def all_cache_stats() -> Dict[str, CacheStats]:
+    """Snapshot of every registered pipeline cache, keyed by name."""
+    return {name: cache.stats() for name, cache in _REGISTRY.items()}
+
+
+def clear_all_caches(reset_stats: bool = False) -> None:
+    """Empty every registered cache (safe at any point; purely a memo reset)."""
+    for cache in _REGISTRY.values():
+        cache.clear(reset_stats=reset_stats)

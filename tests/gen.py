@@ -1,0 +1,114 @@
+"""Seeded random NKA-expression generator for property-based tests.
+
+Deterministic given a seed, dependency-free (plain :mod:`random`), and
+shared by the property, metamorphic and cache test suites plus the
+benchmarks.  Sizes are kept small enough that the decision procedure stays
+fast (star nesting is the cost driver — ε-closures grow with automaton
+size), while still exercising every constructor and the 0/1 edge cases.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.expr import Expr, ONE, Product, Star, Sum, Symbol, ZERO
+
+DEFAULT_LETTERS = ("a", "b", "c")
+
+
+def random_expr(
+    rng: random.Random,
+    letters: Sequence[str] = DEFAULT_LETTERS,
+    depth: int = 3,
+    star_bias: float = 0.2,
+) -> Expr:
+    """A random expression of nesting depth at most ``depth``.
+
+    Leaves are drawn from ``{0, 1} ∪ letters``; interior nodes are sums,
+    products, or (with probability ``star_bias``) stars.
+    """
+    if depth <= 0 or rng.random() < 0.3:
+        roll = rng.random()
+        if roll < 0.1:
+            return ZERO
+        if roll < 0.2:
+            return ONE
+        return Symbol(rng.choice(list(letters)))
+    roll = rng.random()
+    if roll < star_bias:
+        return Star(random_expr(rng, letters, depth - 1, star_bias))
+    left = random_expr(rng, letters, depth - 1, star_bias)
+    right = random_expr(rng, letters, depth - 1, star_bias)
+    if roll < star_bias + (1.0 - star_bias) / 2:
+        return Sum(left, right)
+    return Product(left, right)
+
+
+def random_exprs(
+    seed: int,
+    count: int,
+    letters: Sequence[str] = DEFAULT_LETTERS,
+    depth: int = 3,
+    star_bias: float = 0.2,
+) -> List[Expr]:
+    """``count`` expressions from one seeded stream (reproducible)."""
+    rng = random.Random(seed)
+    return [random_expr(rng, letters, depth, star_bias) for _ in range(count)]
+
+
+def random_pairs(
+    seed: int,
+    count: int,
+    letters: Sequence[str] = DEFAULT_LETTERS,
+    depth: int = 3,
+    equal_fraction: float = 0.0,
+    star_bias: float = 0.2,
+) -> List[Tuple[Expr, Expr]]:
+    """``count`` expression pairs; a fraction are identical-by-construction.
+
+    With ``equal_fraction > 0`` some pairs are ``(e, e)`` — useful for
+    making sure a workload contains queries that must answer ``True``.
+    """
+    rng = random.Random(seed)
+    pairs: List[Tuple[Expr, Expr]] = []
+    for _ in range(count):
+        left = random_expr(rng, letters, depth, star_bias)
+        if rng.random() < equal_fraction:
+            pairs.append((left, left))
+        else:
+            pairs.append((left, random_expr(rng, letters, depth, star_bias)))
+    return pairs
+
+
+def rebuild(expr: Expr) -> Expr:
+    """Reconstruct ``expr`` bottom-up through the public constructors.
+
+    Under hash-consing the result must be pointer-identical to the input —
+    the key interning property the test suite asserts.
+    """
+    if isinstance(expr, Symbol):
+        return Symbol(expr.name)
+    if isinstance(expr, Sum):
+        return Sum(rebuild(expr.left), rebuild(expr.right))
+    if isinstance(expr, Product):
+        return Product(rebuild(expr.left), rebuild(expr.right))
+    if isinstance(expr, Star):
+        return Star(rebuild(expr.body))
+    return type(expr)()  # Zero / One singletons
+
+
+def short_words(
+    letters: Sequence[str], max_length: int
+) -> Iterator[Tuple[str, ...]]:
+    """Every word over ``letters`` of length at most ``max_length``."""
+    frontier: List[Tuple[str, ...]] = [()]
+    yield ()
+    for _ in range(max_length):
+        next_frontier = []
+        for word in frontier:
+            for letter in letters:
+                extended = word + (letter,)
+                yield extended
+                next_frontier.append(extended)
+        frontier = next_frontier

@@ -1,0 +1,122 @@
+"""Property-based tests over the seeded generator (tests/gen.py).
+
+Covers the hash-consing contract of :mod:`repro.core.expr`, idempotence of
+:func:`repro.core.rewrite.flatten`, reflexivity of the decision procedure,
+and cold-cache vs. warm-cache agreement on ~200 random pairs.
+"""
+
+import random
+
+from gen import random_expr, random_exprs, random_pairs, rebuild
+
+from repro.core.decision import clear_caches, nka_equal, nka_equal_many
+from repro.core.expr import (
+    Expr,
+    One,
+    Product,
+    Star,
+    Sum,
+    Symbol,
+    Zero,
+    sum_of,
+    product_of,
+)
+from repro.core.rewrite import flatten, unflatten
+
+
+def _structurally_equal(left: Expr, right: Expr) -> bool:
+    """Reference syntactic equality by explicit tree walk (no interning)."""
+    if type(left) is not type(right):
+        return False
+    if isinstance(left, (Zero, One)):
+        return True
+    if isinstance(left, Symbol):
+        return left.name == right.name
+    return all(
+        _structurally_equal(lc, rc)
+        for lc, rc in zip(left.children(), right.children())
+    )
+
+
+class TestInterning:
+    def test_rebuilding_yields_identical_objects(self):
+        for expr in random_exprs(seed=11, count=100, depth=4):
+            clone = rebuild(expr)
+            assert clone is expr
+            assert clone == expr
+            assert hash(clone) == hash(expr)
+
+    def test_equality_matches_structural_reference(self):
+        """``==`` under interning coincides with tree-walk syntactic equality."""
+        exprs = random_exprs(seed=23, count=60, depth=3)
+        for left in exprs[:30]:
+            for right in exprs[30:]:
+                assert (left == right) == _structurally_equal(left, right)
+
+    def test_hash_respects_equality(self):
+        exprs = random_exprs(seed=37, count=60, depth=3)
+        for left in exprs:
+            for right in exprs:
+                if left == right:
+                    assert hash(left) == hash(right)
+
+    def test_shared_subterms_are_shared_objects(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            sub = random_expr(rng, depth=2)
+            host = Sum(Product(sub, sub), Star(sub))
+            assert host.left.left is host.left.right
+            assert host.left.left is host.right.body
+
+    def test_nary_builders_intern(self):
+        parts = random_exprs(seed=41, count=4, depth=2)
+        assert sum_of(parts) is sum_of(list(parts))
+        assert product_of(parts) is product_of(list(parts))
+
+
+class TestFlattenIdempotent:
+    def test_flatten_unflatten_is_a_projection(self):
+        for expr in random_exprs(seed=101, count=150, depth=4):
+            once = flatten(expr)
+            again = flatten(unflatten(once))
+            assert again == once
+
+    def test_flatten_deterministic_across_cache_clears(self):
+        exprs = random_exprs(seed=103, count=80, depth=4)
+        cold = [flatten(e) for e in exprs]
+        clear_caches()
+        assert [flatten(e) for e in exprs] == cold
+
+
+class TestDecisionReflexivity:
+    def test_nka_equal_on_itself(self):
+        for expr in random_exprs(seed=211, count=40, letters=("a", "b"), depth=3):
+            assert nka_equal(expr, expr)
+
+    def test_nka_equal_on_interned_twin(self):
+        for expr in random_exprs(seed=223, count=25, letters=("a", "b"), depth=3):
+            assert nka_equal(expr, rebuild(expr))
+
+
+class TestColdVsWarmAgreement:
+    def test_200_random_pairs(self):
+        """Cached answers must agree with cold-cache answers, pair by pair."""
+        pairs = random_pairs(
+            seed=307, count=200, letters=("a", "b"), depth=3, equal_fraction=0.25
+        )
+        clear_caches()
+        cold = [nka_equal(l, r) for l, r in pairs]
+        warm = [nka_equal(l, r) for l, r in pairs]  # all hits now
+        assert warm == cold
+        clear_caches()
+        recold = [nka_equal(l, r) for l, r in pairs]
+        assert recold == cold
+        # Sanity: the workload is non-trivial in both directions.
+        assert any(cold) and not all(cold)
+
+    def test_batched_agrees_with_single(self):
+        pairs = random_pairs(seed=311, count=60, letters=("a", "b"), depth=3)
+        clear_caches()
+        single = [nka_equal(l, r) for l, r in pairs]
+        clear_caches()
+        assert nka_equal_many(pairs) == single

@@ -1,0 +1,99 @@
+"""Metamorphic tests for the decision procedure through the cache layer.
+
+For random expressions the decision procedure must certify every instance
+of the Figure 3 equational axioms (commutativity, associativity, units,
+annihilation, distributivity) and their star-fixed-point consequence —
+relations that hold for *all* inputs, so any failure pinpoints a bug in the
+compile pipeline or its caches rather than in a hand-picked example.  Each
+suite runs its queries twice (cold then cached) and batched, so the
+metamorphic relations are exercised through every query path.
+"""
+
+import pytest
+
+from gen import random_exprs, random_pairs
+
+from repro.core.axioms import SEMIRING_LAWS
+from repro.core.decision import (
+    clear_caches,
+    nka_equal,
+    nka_equal_many,
+    nka_equal_many_detailed,
+)
+from repro.core.expr import ONE, Product, Star, Sum, ZERO
+
+
+class TestStructuralMetamorphosis:
+    def test_sum_commutes(self):
+        for left, right in random_pairs(seed=7, count=30, letters=("a", "b"), depth=3):
+            assert nka_equal(Sum(left, right), Sum(right, left))
+
+    def test_one_is_multiplicative_unit(self):
+        for expr in random_exprs(seed=13, count=30, letters=("a", "b"), depth=3):
+            assert nka_equal(Product(expr, ONE), expr)
+            assert nka_equal(Product(ONE, expr), expr)
+
+    def test_zero_is_additive_unit_and_annihilator(self):
+        for expr in random_exprs(seed=17, count=20, letters=("a", "b"), depth=3):
+            assert nka_equal(Sum(expr, ZERO), expr)
+            assert nka_equal(Product(expr, ZERO), ZERO)
+            assert nka_equal(Product(ZERO, expr), ZERO)
+
+    def test_relations_survive_cache_warmup(self):
+        """Identical verdicts on the second (fully cached) pass."""
+        pairs = [
+            (Sum(l, r), Sum(r, l))
+            for l, r in random_pairs(seed=19, count=20, letters=("a", "b"), depth=3)
+        ]
+        clear_caches()
+        cold = nka_equal_many(pairs)
+        warm = [nka_equal(l, r) for l, r in pairs]
+        assert cold == warm == [True] * len(pairs)
+
+
+class TestFigure3AxiomInstances:
+    @pytest.mark.parametrize("axiom", SEMIRING_LAWS, ids=lambda l: l.name)
+    def test_axiom_instances_decided_equal(self, axiom):
+        """Every Figure 3 equational axiom holds on random instantiations."""
+        exprs = random_exprs(seed=29, count=30, letters=("a", "b"), depth=2)
+        instances = []
+        for i in range(0, 30, 3):
+            mapping = {"p": exprs[i], "q": exprs[i + 1], "r": exprs[i + 2]}
+            ground = axiom.instance(mapping)
+            instances.append((ground.lhs, ground.rhs))
+        results = nka_equal_many_detailed(instances)
+        for (lhs, rhs), result in zip(instances, results):
+            assert result.equal, f"{axiom.name}: {lhs} != {rhs} ({result.reason})"
+
+    def test_star_fixed_point_instances(self):
+        """``1 + e·e* = e*`` — the equational face of the Fig. 3 star laws."""
+        for expr in random_exprs(seed=31, count=20, letters=("a", "b"), depth=2):
+            assert nka_equal(Sum(ONE, Product(expr, Star(expr))), Star(expr))
+
+    def test_sliding_instances(self):
+        """``(pq)* p = p (qp)*`` (Fig. 2a, derivable from Fig. 3)."""
+        for p, q in random_pairs(seed=43, count=15, letters=("a", "b"), depth=2):
+            left = Product(Star(Product(p, q)), p)
+            right = Product(p, Star(Product(q, p)))
+            assert nka_equal(left, right)
+
+
+class TestBatchedConsistency:
+    def test_batch_matches_pairwise_on_mixed_workload(self):
+        """The shared-alphabet batch path returns the one-at-a-time verdicts."""
+        pairs = random_pairs(
+            seed=47, count=40, letters=("a", "b", "c"), depth=3, equal_fraction=0.3
+        )
+        clear_caches()
+        batched = nka_equal_many(pairs)
+        clear_caches()
+        assert batched == [nka_equal(l, r) for l, r in pairs]
+
+    def test_batch_counterexamples_are_genuine(self):
+        from repro.core.decision import coefficient
+
+        pairs = random_pairs(seed=53, count=25, letters=("a", "b"), depth=3)
+        for (left, right), result in zip(pairs, nka_equal_many_detailed(pairs)):
+            if not result.equal:
+                word = list(result.counterexample)
+                assert coefficient(left, word) != coefficient(right, word)
