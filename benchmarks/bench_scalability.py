@@ -14,21 +14,48 @@ This bench quantifies that claim on the loop-unrolling equivalence:
 
 Expected shape: algebraic flat, semantic exploding; the crossover sits at
 1–2 qubits on this machine.
+
+A second axis (PR 2): **dense vs sparse linear algebra**.  The decision
+pipeline now runs on the semiring-generic sparse backend
+(:mod:`repro.linalg`); this bench sweeps Thompson-style automata (≈2
+non-zeros per row) up to ≥200 states and times ``matrix_star`` and full
+weighted-automaton equivalence on both the sparse kernels and the retained
+dense reference, asserting the verdicts never change.  Run directly for a
+JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_scalability.py \
+        --sizes 25 50 100 200 --json BENCH_scalability.json
 """
 
+import argparse
+import json
 import random
+import time
+from fractions import Fraction
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import report
+try:
+    from benchmarks.conftest import report
+except ModuleNotFoundError:  # invoked as a script: `python benchmarks/bench_scalability.py`
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import report
+
 from repro.applications.optimization import (
     prove_loop_unrolling,
     unrolling_programs,
 )
+from repro.automata.equivalence import wfa_equivalent
+from repro.automata.wfa import WFA
 from repro.core.decision import cache_stats, clear_caches, nka_equal_many
-from repro.core.expr import ONE, Product, Star, Sum, Symbol
+from repro.core.expr import ONE as EXPR_ONE, Product, Star, Sum, Symbol
 from repro.core.hypotheses import projective_measurement
+from repro.core.semiring import ExtNat, ONE, ZERO
+from repro.linalg import EXT_NAT, RowSpace, SparseMatrix, dense_star
 from repro.programs.semantics import denotation
 from repro.programs.syntax import Unitary
 from repro.quantum.gates import H
@@ -37,6 +64,9 @@ from repro.quantum.measurement import binary_projective
 from repro.quantum.operators import random_unitary
 
 QUBIT_RANGE = [1, 2, 3]
+STATE_SWEEP = [25, 50, 100, 200]
+DENSE_STATE_CAP = 200  # dense star baseline grows ~n³; cap to keep runs sane
+DENSE_EQUIV_CAP = 100  # dense Tzeng baseline is ~10s at n=100, minutes at 200
 
 
 def test_scale_algebraic_derivation(benchmark):
@@ -64,7 +94,7 @@ def test_scale_repeated_decision_traffic(benchmark, batch):
     for _ in range(batch):
         left = rng.choice(seeds)
         right = rng.choice(seeds)
-        pairs.append((Sum(ONE, Product(left, Star(left))), Star(left)))
+        pairs.append((Sum(EXPR_ONE, Product(left, Star(left))), Star(left)))
         pairs.append((Product(Star(Product(left, right)), left),
                       Product(left, Star(Product(right, left)))))
 
@@ -107,3 +137,265 @@ def test_scale_semantic_check(benchmark, qubits):
     report(f"SCALE/semantic-{qubits}q",
            "matrix route grows as 16^qubits",
            f"dim {space.dim}, Liouville {space.dim**2}×{space.dim**2}")
+
+
+# -- dense vs sparse backend sweep ---------------------------------------------
+
+
+def thompson_style_matrix(n: int, rng: random.Random) -> SparseMatrix:
+    """A random ``N̄``-matrix with Thompson ε-graph structure (≈1.5 nnz/row).
+
+    Real ε-graphs decompose into many small components — ε-paths are
+    interrupted by letter transitions, and fragment splicing keeps each
+    component's states contiguous.  So: a union of 4–12-state blocks, each
+    a chain with skip edges (sum branches) and occasionally one small back
+    edge (a star loop, giving a local cycle and hence ``∞`` closure
+    entries).
+    """
+    matrix = SparseMatrix(n, n, EXT_NAT)
+    base = 0
+    while base < n - 1:
+        size = min(rng.randint(4, 12), n - base)
+        for i in range(size - 1):
+            matrix.add_entry(base + i, base + i + 1, ONE)
+            if rng.random() < 0.5 and i + 2 < size:
+                matrix.add_entry(base + i, base + rng.randrange(i + 1, size), ONE)
+        if rng.random() < 0.4 and size >= 3:
+            j = rng.randrange(1, size - 1)
+            matrix.add_entry(base + j, base + rng.randrange(0, j), ONE)
+        base += size
+    return matrix
+
+
+def spread_wfa(n: int, permutation, weight_bump=None) -> WFA:
+    """An all-finite WFA whose Tzeng vectors become dense as words grow.
+
+    Letter ``a`` steps ``i → i+1`` and ``i → i+2`` (so left vectors spread
+    to wide supports — the regime where dense vector–matrix products cost
+    ``Θ(n²)`` per step while sparse rows stay ``O(1)``); letter ``b`` is a
+    plain chain.  ``permutation[i]`` is the physical index of logical state
+    ``i`` — permuting produces behaviourally identical automata with
+    different matrices, the shape Tzeng's algorithm has to work for.
+    ``weight_bump`` optionally doubles one transition to make the pair
+    *inequivalent*.
+    """
+    wfa = WFA(
+        num_states=n,
+        alphabet=frozenset({"a", "b"}),
+        initial=[ZERO] * n,
+        final=[ZERO] * n,
+    )
+    wfa.initial[permutation[0]] = ONE
+    wfa.final[permutation[n - 1]] = ONE
+    step, spread = wfa.matrix("b"), wfa.matrix("a")
+    for i in range(n - 1):
+        weight = ExtNat(2) if weight_bump == i else ONE
+        spread.add_entry(permutation[i], permutation[i + 1], weight)
+        if i + 2 < n:
+            spread.add_entry(permutation[i], permutation[i + 2], ONE)
+        step.add_entry(permutation[i], permutation[i + 1], ONE)
+    return wfa
+
+
+def _dense_tzeng_equal(left: WFA, right: WFA) -> bool:
+    """The pre-backend dense Tzeng loop: dense rows, ``Fraction`` vectors."""
+    n_left, n_right = left.num_states, right.num_states
+    dim = n_left + n_right
+    dense = {
+        (side, letter): matrix.to_dense()
+        for side, wfa in (("L", left), ("R", right))
+        for letter, matrix in wfa.matrices.items()
+    }
+
+    def advance(vector, side, wfa, letter, offset):
+        n = wfa.num_states
+        result = [Fraction(0)] * n
+        matrix = dense.get((side, letter))
+        if matrix is None:
+            return result
+        for i in range(n):
+            value = vector[offset + i]
+            if value == 0:
+                continue
+            for j in range(n):
+                weight = matrix[i][j]
+                if not weight.is_zero:
+                    result[j] += value * weight.finite_value
+        return result
+
+    functional = tuple(
+        [Fraction(w.finite_value) for w in left.final]
+        + [-Fraction(w.finite_value) for w in right.final]
+    )
+    start = tuple(
+        [Fraction(w.finite_value) for w in left.initial]
+        + [Fraction(w.finite_value) for w in right.initial]
+    )
+    alphabet = sorted(left.alphabet | right.alphabet)
+    basis = RowSpace(dim)
+    basis._demote_to_fractions()  # force the legacy Fraction-echelon path
+    queue = []
+    if basis.insert(start):
+        queue.append(start)
+    while queue:
+        vector = queue.pop(0)
+        if sum(a * b for a, b in zip(vector, functional)) != 0:
+            return False
+        for letter in alphabet:
+            successor = tuple(
+                advance(vector, "L", left, letter, 0)
+                + advance(vector, "R", right, letter, n_left)
+            )
+            if basis.insert(successor):
+                queue.append(successor)
+    return True
+
+
+def _time(fn):
+    begin = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - begin
+
+
+def sweep_matrix_star(sizes, dense_cap=DENSE_STATE_CAP, seed=2024):
+    """Sparse vs dense ``matrix_star`` on Thompson-style matrices."""
+    rows = []
+    for n in sizes:
+        rng = random.Random(seed + n)
+        sparse = thompson_style_matrix(n, rng)
+        sparse_star, sparse_s = _time(sparse.star)
+        row = {
+            "n": n,
+            "nnz": sparse.nnz,
+            "sparse_s": sparse_s,
+            "dense_s": None,
+            "speedup": None,
+        }
+        if n <= dense_cap:
+            dense = sparse.to_dense()
+            dense_result, dense_s = _time(lambda: dense_star(dense, EXT_NAT))
+            assert sparse_star.to_dense() == dense_result, f"star mismatch at n={n}"
+            row["dense_s"] = dense_s
+            row["speedup"] = dense_s / sparse_s if sparse_s > 0 else float("inf")
+        rows.append(row)
+    return rows
+
+
+def sweep_equivalence(sizes, dense_cap=DENSE_EQUIV_CAP, seed=2024):
+    """Sparse vs dense WFA equivalence on permuted spread automata.
+
+    Each size checks one equal pair (automaton vs state-permuted copy) and
+    one unequal pair (one transition weight doubled); the dense and sparse
+    routes must return identical verdicts.
+    """
+    rows = []
+    for n in sizes:
+        rng = random.Random(seed + n)
+        identity = list(range(n))
+        shuffled = list(range(n))
+        rng.shuffle(shuffled)
+        left = spread_wfa(n, identity)
+        right = spread_wfa(n, shuffled)
+        wrong = spread_wfa(n, identity, weight_bump=n // 2)
+
+        def sparse_run():
+            return (
+                wfa_equivalent(left, right).equal,
+                wfa_equivalent(left, wrong).equal,
+            )
+
+        (sparse_eq, sparse_neq), sparse_s = _time(sparse_run)
+        assert sparse_eq and not sparse_neq
+        row = {
+            "n": n,
+            "sparse_s": sparse_s,
+            "dense_s": None,
+            "speedup": None,
+            "verdicts": [sparse_eq, sparse_neq],
+        }
+        if n <= dense_cap:
+            # The infinity-support stage is Boolean and shared; the dense
+            # baseline swaps in the legacy dense-Fraction Tzeng stage.
+            def dense_run():
+                return (
+                    _dense_tzeng_equal(left, right),
+                    _dense_tzeng_equal(left, wrong),
+                )
+
+            (dense_eq, dense_neq), dense_s = _time(dense_run)
+            assert (dense_eq, dense_neq) == (sparse_eq, sparse_neq), (
+                f"verdict mismatch at n={n}"
+            )
+            row["dense_s"] = dense_s
+            row["speedup"] = dense_s / sparse_s if sparse_s > 0 else float("inf")
+        rows.append(row)
+    return rows
+
+
+def run_backend_sweep(
+    sizes=None, dense_cap=DENSE_STATE_CAP, dense_equiv_cap=DENSE_EQUIV_CAP
+):
+    sizes = list(sizes or STATE_SWEEP)
+    return {
+        "bench": "scalability/dense-vs-sparse",
+        "sizes": sizes,
+        "matrix_star": sweep_matrix_star(sizes, dense_cap),
+        "equivalence": sweep_equivalence(sizes, dense_equiv_cap),
+    }
+
+
+def _format_row(row):
+    dense = f"{row['dense_s']*1000:9.1f}ms" if row["dense_s"] is not None else "        —"
+    speed = f"{row['speedup']:6.1f}×" if row["speedup"] is not None else "      —"
+    return (
+        f"  n={row['n']:>4}  sparse {row['sparse_s']*1000:8.1f}ms  "
+        f"dense {dense}  speedup {speed}"
+    )
+
+
+def test_backend_sweep_small():
+    """Tier-agnostic smoke: sparse ≥5× faster than dense at n=100, verdicts equal."""
+    results = run_backend_sweep(sizes=[25, 50, 100])
+    for row in results["matrix_star"]:
+        if row["n"] >= 100:
+            assert row["speedup"] is not None and row["speedup"] >= 5.0, row
+    for row in results["equivalence"]:
+        if row["n"] >= 100:
+            assert row["speedup"] is not None and row["speedup"] >= 5.0, row
+    report(
+        "SCALE/backend-star",
+        "sparse star walks supports, dense is Θ(n³)",
+        "; ".join(_format_row(r).strip() for r in results["matrix_star"]),
+    )
+    report(
+        "SCALE/backend-equivalence",
+        "sparse Tzeng advances in O(nnz) with integer RowSpace",
+        "; ".join(_format_row(r).strip() for r in results["equivalence"]),
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=STATE_SWEEP)
+    parser.add_argument("--dense-cap", type=int, default=DENSE_STATE_CAP,
+                        help="largest n to run the dense star baseline at")
+    parser.add_argument("--dense-equiv-cap", type=int, default=DENSE_EQUIV_CAP,
+                        help="largest n to run the dense Tzeng baseline at")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write results to this JSON file")
+    args = parser.parse_args(argv)
+    results = run_backend_sweep(args.sizes, args.dense_cap, args.dense_equiv_cap)
+    print("matrix_star (Thompson-style sparsity, N̄):")
+    for row in results["matrix_star"]:
+        print(_format_row(row))
+    print("wfa equivalence (equal + unequal permuted chains):")
+    for row in results["equivalence"]:
+        print(_format_row(row))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"wrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

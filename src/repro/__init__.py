@@ -7,6 +7,8 @@ Programs via Non-idempotent Kleene Algebra* (PLDI 2022):
   (Fig. 2), an equational proof engine, and a sound-and-complete decision
   procedure for ``⊢NKA e = f`` (Theorem A.6 / Remark 2.1);
 * :mod:`repro.series` — formal & rational power series over ``N̄``;
+* :mod:`repro.linalg` — semiring-generic sparse linear algebra (the
+  backend every matrix/vector computation in the pipeline compiles to);
 * :mod:`repro.automata` — the weighted-automata substrate of the decision
   procedure;
 * :mod:`repro.quantum` — Hilbert spaces, superoperators, measurements;

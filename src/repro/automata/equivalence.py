@@ -14,20 +14,25 @@ This implements the decision procedure promised by the paper's Remark 2.1
    and restricting to the complement language (Hadamard product with a
    DFA), equality of the two ``Q``-weighted automata is decided by Tzeng's
    algorithm: breadth-first exploration of the reachable left-vector space
-   with exact rational linear algebra; at most ``n_A + n_B`` basis vectors
-   exist, so the search terminates and failure yields a counterexample word.
+   with exact linear algebra; at most ``n_A + n_B`` basis vectors exist, so
+   the search terminates and failure yields a counterexample word.
 
-Both stages are exact (integers / fractions), so the combined procedure is a
-*decision* procedure, not a semidecision.
+Both stages are exact, so the combined procedure is a *decision* procedure,
+not a semidecision.  The Tzeng stage runs entirely in ``Z``: the automata
+reaching it carry finite natural weights, vector–matrix products preserve
+integrality, and :class:`repro.linalg.RowSpace` keeps its fraction-free
+integer fast path as long as every inserted vector is integral — which here
+is always.  Transition matrices are sparse
+(:class:`repro.linalg.SparseMatrix`), so advancing a vector by a letter
+walks only the non-zero rows of the reached states.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.automata.linalg import RowSpace, Vector, dot
+from repro.linalg import RowSpace, dot
 from repro.automata.nfa import dfa_equivalent
 from repro.automata.wfa import (
     WFA,
@@ -58,32 +63,39 @@ class EquivalenceResult:
         return self.equal
 
 
-def _finite_weight_to_fraction(weight) -> Fraction:
+IntVector = Tuple[int, ...]
+
+
+def _finite_weight_to_int(weight) -> int:
     if weight.is_infinite:
         raise DecisionError("infinite weight reached Tzeng stage; drop them first")
-    return Fraction(weight.finite_value)
+    return weight.finite_value
 
 
 def tzeng_equivalent(left: WFA, right: WFA) -> EquivalenceResult:
     """Tzeng's equivalence algorithm for finitely-weighted automata.
 
     Explores words in breadth-first order, maintaining the joint left vector
-    ``u(w) = (α_L · M_L(w), α_R · M_R(w))`` over ``Q``.  The series are equal
-    iff ``⟨u(w), (η_L, -η_R)⟩ = 0`` for every ``w``; it suffices to check one
+    ``u(w) = (α_L · M_L(w), α_R · M_R(w))``.  The series are equal iff
+    ``⟨u(w), (η_L, -η_R)⟩ = 0`` for every ``w``; it suffices to check one
     word per independent vector, of which there are at most ``n_L + n_R``.
+
+    All vectors live in ``Z`` (the automata here carry finite natural
+    weights), so the basis stays on :class:`repro.linalg.RowSpace`'s
+    fraction-free integer fast path throughout.
     """
     dim = left.num_states + right.num_states
-    final_functional: Vector = tuple(
-        [_finite_weight_to_fraction(w) for w in left.final]
-        + [-_finite_weight_to_fraction(w) for w in right.final]
+    final_functional: IntVector = tuple(
+        [_finite_weight_to_int(w) for w in left.final]
+        + [-_finite_weight_to_int(w) for w in right.final]
     )
-    start: Vector = tuple(
-        [_finite_weight_to_fraction(w) for w in left.initial]
-        + [_finite_weight_to_fraction(w) for w in right.initial]
+    start: IntVector = tuple(
+        [_finite_weight_to_int(w) for w in left.initial]
+        + [_finite_weight_to_int(w) for w in right.initial]
     )
     alphabet = sorted(left.alphabet | right.alphabet)
     basis = RowSpace(dim)
-    queue: List[Tuple[Vector, Tuple[str, ...]]] = []
+    queue: List[Tuple[IntVector, Tuple[str, ...]]] = []
     if basis.insert(start):
         queue.append((start, ()))
     while queue:
@@ -101,29 +113,47 @@ def tzeng_equivalent(left: WFA, right: WFA) -> EquivalenceResult:
     return EquivalenceResult(equal=True, counterexample=None, reason="Tzeng basis exhausted")
 
 
-def _advance(vector: Vector, left: WFA, right: WFA, letter: str) -> Vector:
+def _advance(vector: IntVector, left: WFA, right: WFA, letter: str) -> IntVector:
     n_left = left.num_states
-    left_part = list(vector[:n_left])
-    right_part = list(vector[n_left:])
     return tuple(
-        _vector_matrix(left_part, left, letter) + _vector_matrix(right_part, right, letter)
+        _vector_matrix(vector, 0, left, letter)
+        + _vector_matrix(vector, n_left, right, letter)
     )
 
 
-def _vector_matrix(row: List[Fraction], wfa: WFA, letter: str) -> List[Fraction]:
+def _vector_matrix(
+    vector: Sequence[int], offset: int, wfa: WFA, letter: str
+) -> List[int]:
+    """``vector[offset:offset+n] · M(letter)`` over the sparse rows."""
     n = wfa.num_states
-    if letter not in wfa.matrices:
-        return [Fraction(0)] * n
-    matrix = wfa.matrices[letter]
-    result = [Fraction(0)] * n
-    for i, value in enumerate(row):
-        if value == 0:
+    result = [0] * n
+    matrix = wfa.matrices.get(letter)
+    if matrix is None:
+        return result
+    rows = matrix.rows
+    for i in range(n):
+        value = vector[offset + i]
+        if not value:
             continue
-        for j in range(n):
-            weight = matrix[i][j]
-            if not weight.is_zero:
-                result[j] += value * weight.finite_value
+        row = rows.get(i)
+        if row is None:
+            continue
+        for j, weight in row.items():
+            result[j] += value * weight.finite_value
     return result
+
+
+def _has_infinite_weight(wfa: WFA) -> bool:
+    """Whether any initial/transition/final weight is ``∞`` (walks supports)."""
+    if any(w.is_infinite for w in wfa.initial):
+        return True
+    if any(w.is_infinite for w in wfa.final):
+        return True
+    return any(
+        weight.is_infinite
+        for matrix in wfa.matrices.values()
+        for _i, _j, weight in matrix.entries()
+    )
 
 
 def wfa_equivalent(left: WFA, right: WFA) -> EquivalenceResult:
@@ -134,6 +164,20 @@ def wfa_equivalent(left: WFA, right: WFA) -> EquivalenceResult:
     automaton against many others re-runs the subset construction only for
     the newcomers.
     """
+    # Fast path: with no ∞ weight anywhere, both infinity supports are
+    # trivially empty and equal, and the finite parts are the automata
+    # themselves — go straight to Tzeng, skipping the subset construction
+    # and the Hadamard product (which can blow up exponentially in the
+    # automaton's branching even though the answer does not need them).
+    if not _has_infinite_weight(left) and not _has_infinite_weight(right):
+        result = tzeng_equivalent(left, right)
+        if result.equal:
+            return EquivalenceResult(
+                equal=True,
+                counterexample=None,
+                reason="all weights finite; equal finite parts",
+            )
+        return result
     # Stage 1: compare the regular languages of infinite-coefficient words.
     left_dfa = left.support_dfa()
     right_dfa = right.support_dfa()

@@ -1,105 +1,23 @@
-"""Exact rational linear algebra over ``fractions.Fraction``.
+"""Compatibility façade over :mod:`repro.linalg.rowspace`.
 
-The Tzeng/Schützenberger equivalence check for weighted automata
-(:mod:`repro.automata.equivalence`) needs exact linear-independence tests of
-integer vectors.  Floating point would make the decision procedure unsound,
-so we keep a tiny exact toolkit here: vectors are tuples of ``Fraction`` and
-:class:`RowSpace` maintains a row-echelon basis incrementally.
+The exact vector toolkit and :class:`RowSpace` used by Tzeng's algorithm
+moved into the semiring-generic backend package :mod:`repro.linalg`, which
+adds a fraction-free integer fast path (the WFA vectors start as small
+naturals, so the common case never touches ``Fraction`` at all).  This
+module re-exports the same names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import List, Optional, Sequence, Tuple
+from repro.linalg.rowspace import (
+    RowSpace,
+    Vector,
+    add,
+    dot,
+    is_zero,
+    scale,
+    sub,
+    vector,
+)
 
-__all__ = ["Vector", "dot", "scale", "add", "sub", "is_zero", "RowSpace"]
-
-Vector = Tuple[Fraction, ...]
-
-
-def vector(values: Sequence[int | Fraction]) -> Vector:
-    """Build an exact vector from ints or fractions."""
-    return tuple(Fraction(v) for v in values)
-
-
-def dot(u: Vector, v: Vector) -> Fraction:
-    if len(u) != len(v):
-        raise ValueError(f"dimension mismatch: {len(u)} vs {len(v)}")
-    return sum((a * b for a, b in zip(u, v)), Fraction(0))
-
-
-def scale(u: Vector, c: Fraction) -> Vector:
-    return tuple(a * c for a in u)
-
-
-def add(u: Vector, v: Vector) -> Vector:
-    return tuple(a + b for a, b in zip(u, v))
-
-
-def sub(u: Vector, v: Vector) -> Vector:
-    return tuple(a - b for a, b in zip(u, v))
-
-
-def is_zero(u: Vector) -> bool:
-    return all(a == 0 for a in u)
-
-
-class RowSpace:
-    """An incrementally maintained row space in reduced echelon form.
-
-    ``insert`` reduces the candidate against the current basis; if a nonzero
-    residue remains the vector was independent, it is normalised and added,
-    and ``insert`` returns ``True``.  This is exactly the operation Tzeng's
-    algorithm needs: "is this reachability vector new?".
-    """
-
-    def __init__(self, dimension: int):
-        self.dimension = dimension
-        self._rows: List[Vector] = []
-        self._pivots: List[int] = []
-
-    def __len__(self) -> int:
-        return len(self._rows)
-
-    @property
-    def rank(self) -> int:
-        return len(self._rows)
-
-    def reduce(self, candidate: Vector) -> Vector:
-        """Return the residue of ``candidate`` modulo the row space."""
-        if len(candidate) != self.dimension:
-            raise ValueError(
-                f"vector of dimension {len(candidate)} in space of {self.dimension}"
-            )
-        residue = candidate
-        for row, pivot in zip(self._rows, self._pivots):
-            coeff = residue[pivot]
-            if coeff != 0:
-                residue = sub(residue, scale(row, coeff))
-        return residue
-
-    def contains(self, candidate: Vector) -> bool:
-        return is_zero(self.reduce(candidate))
-
-    def insert(self, candidate: Vector) -> bool:
-        """Insert ``candidate``; return ``True`` if it enlarged the space."""
-        residue = self.reduce(candidate)
-        pivot = _first_nonzero(residue)
-        if pivot is None:
-            return False
-        normalised = scale(residue, Fraction(1, 1) / residue[pivot])
-        # Back-substitute into existing rows to keep the basis reduced.
-        self._rows = [
-            sub(row, scale(normalised, row[pivot])) if row[pivot] != 0 else row
-            for row in self._rows
-        ]
-        self._rows.append(normalised)
-        self._pivots.append(pivot)
-        return True
-
-
-def _first_nonzero(u: Vector) -> Optional[int]:
-    for index, value in enumerate(u):
-        if value != 0:
-            return index
-    return None
+__all__ = ["Vector", "vector", "dot", "scale", "add", "sub", "is_zero", "RowSpace"]

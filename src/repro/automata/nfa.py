@@ -8,12 +8,21 @@ with their complement (see :mod:`repro.automata.equivalence`).
 
 States are plain integers ``0..n-1``; alphabets are frozensets of strings
 (one string per letter, matching NKA symbol names).
+
+Reachability here is the Boolean-semiring instance of the shared sparse
+kernel (:mod:`repro.linalg`): each letter's transition relation is a
+``BOOL`` :class:`~repro.linalg.SparseMatrix`, stepping a state set is a
+sparse vector–matrix product, and emptiness is ``initial · A*`` for the
+union adjacency — the same algorithms the ``N̄``-weighted pipeline runs,
+at Boolean weights.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.linalg import BOOL, SparseMatrix, reachable
 
 __all__ = ["NFA", "DFA", "determinize", "dfa_equivalent", "dfa_product_intersection"]
 
@@ -35,14 +44,37 @@ class NFA:
     transitions: Dict[Tuple[int, str], Set[int]] = field(default_factory=dict)
     initial: Set[int] = field(default_factory=set)
     accepting: Set[int] = field(default_factory=set)
+    _letter_matrices: Dict[str, SparseMatrix] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def add_transition(self, source: int, letter: str, target: int) -> None:
         self.transitions.setdefault((source, letter), set()).add(target)
+        self._letter_matrices.pop(letter, None)
+
+    def letter_matrix(self, letter: str) -> SparseMatrix:
+        """The letter's transition relation as a Boolean sparse matrix.
+
+        Built lazily and cached (``add_transition`` invalidates per letter);
+        the subset construction steps every explored state set through these
+        rows, so sharing the adjacency across calls matters.
+        """
+        cached = self._letter_matrices.get(letter)
+        if cached is None:
+            cached = SparseMatrix(self.num_states, self.num_states, BOOL)
+            for (state, tr_letter), targets in self.transitions.items():
+                if tr_letter == letter and targets:
+                    cached.rows[state] = dict.fromkeys(targets, True)
+            self._letter_matrices[letter] = cached
+        return cached
 
     def successors(self, states: Iterable[int], letter: str) -> FrozenSet[int]:
+        rows = self.letter_matrix(letter).rows
         result: Set[int] = set()
         for state in states:
-            result |= self.transitions.get((state, letter), set())
+            row = rows.get(state)
+            if row:
+                result.update(row)
         return frozenset(result)
 
     def accepts(self, word: Iterable[str]) -> bool:
@@ -89,19 +121,16 @@ class DFA:
         )
 
     def is_empty(self) -> bool:
-        """Whether the accepted language is empty (BFS reachability)."""
-        frontier = [self.initial]
-        seen = {self.initial}
-        while frontier:
-            state = frontier.pop()
-            if state in self.accepting:
-                return False
-            for letter in self.alphabet:
-                succ = self.step(state, letter)
-                if succ not in seen:
-                    seen.add(succ)
-                    frontier.append(succ)
-        return True
+        """Whether the accepted language is empty.
+
+        Boolean-semiring reachability over the union adjacency of all
+        letters (``initial · A*`` in the ``BOOL`` instance of the sparse
+        kernel), intersected with the accepting set.
+        """
+        adjacency = SparseMatrix(self.num_states, self.num_states, BOOL)
+        for (state, _letter), successor in self.transitions.items():
+            adjacency.rows.setdefault(state, {})[successor] = True
+        return not (reachable(adjacency, (self.initial,)) & self.accepting)
 
 
 def determinize(nfa: NFA) -> DFA:

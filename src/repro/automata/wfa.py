@@ -4,10 +4,15 @@ A rational power series over ``N̄`` (paper Appendix A) is exactly the
 behaviour of a finite automaton whose transition, initial and final weights
 live in ``N̄``.  This module provides:
 
-* :class:`WFA` — the automaton representation (vector/matrix form);
-* :func:`matrix_star` — the Kleene star of a square ``N̄``-matrix, computed
-  with the standard recursive block formula, valid because ``N̄`` is a
-  complete star semiring;
+* :class:`WFA` — the automaton representation (vector/matrix form), with
+  transition matrices stored as :class:`repro.linalg.SparseMatrix` over the
+  ``EXT_NAT`` semiring — Thompson-style automata carry ~2 non-zeros per
+  row, so every pipeline stage walks supports instead of n² cells;
+* :func:`matrix_star` / :func:`matrix_mul` / :func:`matrix_add` — thin
+  dense-list wrappers over :mod:`repro.linalg` kept for callers/tests that
+  speak list-of-lists; the star uses the sparse kernel's block
+  decomposition (valid because ``N̄`` is a complete star semiring) with its
+  loop-free short-circuit;
 * :func:`expr_to_wfa` — compilation of an NKA expression to a WFA by a
   Thompson-style construction followed by exact ε-elimination (the ε-closure
   is ``E*`` for the ε-weight matrix ``E``, so ε-cycles — which arise from
@@ -42,6 +47,7 @@ from repro.core.expr import (
     alphabet as expr_alphabet,
 )
 from repro.core.semiring import ExtNat, INF, ONE, ZERO
+from repro.linalg import BOOL, EXT_NAT, SparseMatrix, reachable, vec_mat
 from repro.automata.nfa import DFA, NFA, determinize
 from repro.util.cache import LRUCache
 
@@ -59,89 +65,44 @@ __all__ = [
 Matrix = List[List[ExtNat]]
 
 
-def _zeros(rows: int, cols: int) -> Matrix:
-    return [[ZERO for _ in range(cols)] for _ in range(rows)]
-
-
-def _identity(n: int) -> Matrix:
-    m = _zeros(n, n)
-    for i in range(n):
-        m[i][i] = ONE
-    return m
-
-
 def matrix_add(a: Matrix, b: Matrix) -> Matrix:
-    return [[x + y for x, y in zip(row_a, row_b)] for row_a, row_b in zip(a, b)]
+    """Dense-list façade for sparse addition over ``N̄``."""
+    left = SparseMatrix.from_dense(a, EXT_NAT)
+    return left.add(SparseMatrix.from_dense(b, EXT_NAT)).to_dense()
 
 
 def matrix_mul(a: Matrix, b: Matrix) -> Matrix:
-    rows, inner, cols = len(a), len(b), len(b[0]) if b else 0
-    result = _zeros(rows, cols)
-    for i in range(rows):
-        row_a = a[i]
-        out = result[i]
-        for k in range(inner):
-            coeff = row_a[k]
-            if coeff.is_zero:
-                continue
-            row_b = b[k]
-            for j in range(cols):
-                if not row_b[j].is_zero:
-                    out[j] = out[j] + coeff * row_b[j]
-    return result
+    """Dense-list façade for sparse multiplication over ``N̄``."""
+    left = SparseMatrix.from_dense(a, EXT_NAT)
+    return left.mul(SparseMatrix.from_dense(b, EXT_NAT)).to_dense()
 
 
 def matrix_star(m: Matrix) -> Matrix:
-    """``m* = Σ_k m^k`` for a square matrix over ``N̄``.
+    """``m* = Σ_k m^k`` for a square dense-list matrix over ``N̄``.
 
-    Uses the classical recursive 2×2 block decomposition valid in any
-    complete star semiring: with ``m = [[A, B], [C, D]]``,
-
-    * ``F = (A + B · D* · C)*``
-    * ``m* = [[F,            F · B · D*                ],
-              [D* · C · F,   D* + D* · C · F · B · D* ]]``
+    Thin wrapper over :meth:`repro.linalg.SparseMatrix.star`, which keeps
+    the classical recursive 2×2 block decomposition (valid in any complete
+    star semiring) but prunes all-zero blocks and short-circuits loop-free
+    matrices to a finite nilpotent sum.
     """
-    n = len(m)
-    if n == 0:
-        return []
-    if n == 1:
-        return [[m[0][0].star()]]
-    half = n // 2
-
-    def block(rows: range, cols: range) -> Matrix:
-        return [[m[i][j] for j in cols] for i in rows]
-
-    top, bottom = range(0, half), range(half, n)
-    a, b = block(top, top), block(top, bottom)
-    c, d = block(bottom, top), block(bottom, bottom)
-    d_star = matrix_star(d)
-    f = matrix_star(matrix_add(a, matrix_mul(matrix_mul(b, d_star), c)))
-    fb_dstar = matrix_mul(matrix_mul(f, b), d_star)
-    dstar_cf = matrix_mul(matrix_mul(d_star, c), f)
-    bottom_right = matrix_add(d_star, matrix_mul(dstar_cf, matrix_mul(b, d_star)))
-    result = _zeros(n, n)
-    for i in range(half):
-        for j in range(half):
-            result[i][j] = f[i][j]
-        for j in range(half, n):
-            result[i][j] = fb_dstar[i][j - half]
-    for i in range(half, n):
-        for j in range(half):
-            result[i][j] = dstar_cf[i - half][j]
-        for j in range(half, n):
-            result[i][j] = bottom_right[i - half][j - half]
-    return result
+    return SparseMatrix.from_dense(m, EXT_NAT).star().to_dense()
 
 
 @dataclass
 class WFA:
-    """A weighted finite automaton over ``N̄`` in vector/matrix form."""
+    """A weighted finite automaton over ``N̄`` in vector/matrix form.
+
+    ``matrices`` maps each letter to a sparse ``num_states × num_states``
+    transition matrix (:class:`repro.linalg.SparseMatrix` over ``EXT_NAT``);
+    ``initial``/``final`` stay dense lists — they are length-n and almost
+    always dense after trimming.
+    """
 
     num_states: int
     alphabet: FrozenSet[str]
     initial: List[ExtNat]
     final: List[ExtNat]
-    matrices: Dict[str, Matrix] = field(default_factory=dict)
+    matrices: Dict[str, SparseMatrix] = field(default_factory=dict)
     _support_dfa: "DFA" = field(default=None, repr=False, compare=False)
 
     def support_dfa(self) -> DFA:
@@ -155,40 +116,62 @@ class WFA:
             self._support_dfa = determinize(infinity_support_nfa(self))
         return self._support_dfa
 
-    def matrix(self, letter: str) -> Matrix:
+    def matrix(self, letter: str) -> SparseMatrix:
         if letter not in self.matrices:
-            self.matrices[letter] = _zeros(self.num_states, self.num_states)
+            self.matrices[letter] = SparseMatrix(
+                self.num_states, self.num_states, EXT_NAT
+            )
         return self.matrices[letter]
 
     def weight(self, word: Sequence[str]) -> ExtNat:
-        """The series coefficient of ``word`` (exact ``N̄`` arithmetic)."""
-        row = list(self.initial)
+        """The series coefficient of ``word`` (exact ``N̄`` arithmetic).
+
+        Computed by sparse left-vector propagation: the running vector only
+        carries states with non-zero weight, so a k-letter word costs
+        ``O(k · nnz(reached rows))`` rather than ``k · n²``.
+        """
+        row = {
+            i: value for i, value in enumerate(self.initial) if not value.is_zero
+        }
         for letter in word:
-            if letter not in self.matrices:
+            matrix = self.matrices.get(letter)
+            if matrix is None or not row:
                 return ZERO
-            matrix = self.matrices[letter]
-            row = [
-                _row_times_column(row, matrix, j) for j in range(self.num_states)
-            ]
+            row = vec_mat(row, matrix)
         total = ZERO
-        for value, final in zip(row, self.final):
-            total = total + value * final
+        for i, value in row.items():
+            total = total + value * self.final[i]
         return total
 
+    def _support_adjacency(self) -> SparseMatrix:
+        """Boolean union of the letter supports (edge iff some weight ≠ 0)."""
+        adjacency = SparseMatrix(self.num_states, self.num_states, BOOL)
+        for matrix in self.matrices.values():
+            for i, row in matrix.rows.items():
+                target = adjacency.rows.setdefault(i, {})
+                for j in row:
+                    target[j] = True
+        return adjacency
+
     def trim(self) -> "WFA":
-        """Remove states that are unreachable or cannot reach a final weight."""
-        forward = _closure(
-            {i for i, w in enumerate(self.initial) if not w.is_zero},
-            self._positive_edges(),
+        """Remove states that are unreachable or cannot reach a final weight.
+
+        Both directions are Boolean-semiring reachability over the support
+        adjacency — the ``BOOL`` instance of the shared sparse kernel.
+        """
+        adjacency = self._support_adjacency()
+        forward = reachable(
+            adjacency, (i for i, w in enumerate(self.initial) if not w.is_zero)
         )
-        backward = _closure(
-            {i for i, w in enumerate(self.final) if not w.is_zero},
-            self._positive_edges(reverse=True),
+        backward = reachable(
+            adjacency.transpose(),
+            (i for i, w in enumerate(self.final) if not w.is_zero),
         )
         keep = sorted(forward & backward)
         if len(keep) == self.num_states:
             return self
         index = {old: new for new, old in enumerate(keep)}
+        kept = set(keep)
         trimmed = WFA(
             num_states=len(keep),
             alphabet=self.alphabet,
@@ -196,44 +179,17 @@ class WFA:
             final=[self.final[old] for old in keep],
         )
         for letter, matrix in self.matrices.items():
-            new_matrix = _zeros(len(keep), len(keep))
-            for old_i in keep:
-                for old_j in keep:
-                    new_matrix[index[old_i]][index[old_j]] = matrix[old_i][old_j]
+            new_matrix = SparseMatrix(len(keep), len(keep), EXT_NAT)
+            for old_i, row in matrix.rows.items():
+                if old_i not in kept:
+                    continue
+                picked = {
+                    index[old_j]: value for old_j, value in row.items() if old_j in kept
+                }
+                if picked:
+                    new_matrix.rows[index[old_i]] = picked
             trimmed.matrices[letter] = new_matrix
         return trimmed
-
-    def _positive_edges(self, reverse: bool = False) -> Dict[int, Set[int]]:
-        edges: Dict[int, Set[int]] = {}
-        for matrix in self.matrices.values():
-            for i in range(self.num_states):
-                for j in range(self.num_states):
-                    if not matrix[i][j].is_zero:
-                        if reverse:
-                            edges.setdefault(j, set()).add(i)
-                        else:
-                            edges.setdefault(i, set()).add(j)
-        return edges
-
-
-def _row_times_column(row: List[ExtNat], matrix: Matrix, j: int) -> ExtNat:
-    total = ZERO
-    for i, value in enumerate(row):
-        if not value.is_zero and not matrix[i][j].is_zero:
-            total = total + value * matrix[i][j]
-    return total
-
-
-def _closure(seed: Set[int], edges: Dict[int, Set[int]]) -> Set[int]:
-    seen = set(seed)
-    frontier = list(seed)
-    while frontier:
-        state = frontier.pop()
-        for succ in edges.get(state, ()):  # pragma: no branch
-            if succ not in seen:
-                seen.add(succ)
-                frontier.append(succ)
-    return seen
 
 
 # -- Thompson construction -----------------------------------------------------
@@ -258,10 +214,9 @@ class _Fragment:
 
 # Deliberate trade-off: composing fragments copies every descendant edge at
 # each level, i.e. Θ(Σ subtree sizes) versus the linear appends of a mutable
-# builder.  At any automaton size this pipeline can feasibly ε-eliminate
-# (matrix_star is Θ(n³) in exact ``N̄`` arithmetic — minutes at n≈500) the
-# copying is sub-millisecond noise, and in exchange fragments are immutable,
-# memoizable, and shared across compilations.
+# builder.  At any automaton size this pipeline can feasibly ε-eliminate,
+# the copying is sub-millisecond noise, and in exchange fragments are
+# immutable, memoizable, and shared across compilations.
 
 
 _FRAGMENT_CACHE = LRUCache("wfa.fragments", maxsize=1 << 14)
@@ -323,8 +278,10 @@ def expr_to_wfa(expr: Expr, extra_alphabet: FrozenSet[str] = frozenset()) -> WFA
 
     The behaviour of the result equals the series ``{{expr}}`` of
     Definition A.4: for every word ``w``, ``result.weight(w) = {{expr}}[w]``.
-    ε-elimination computes the exact ε-closure ``C = E*`` (matrix star), then
-    sets ``α' = α·C`` and ``M'(a) = M(a)·C`` so that
+    ε-elimination computes the exact ε-closure ``C = E*`` (sparse matrix
+    star — the ε-matrix of a Thompson fragment has ≤ 4 entries per row, and
+    star-free subterms hit the loop-free fast path), then sets ``α' = α·C``
+    and ``M'(a) = M(a)·C`` so that
     ``α'·M'(a1)…M'(ak)·η = α·C·M(a1)·C·…·M(ak)·C·η``, the sum over all runs
     interleaved with arbitrarily many ε-steps.
 
@@ -340,22 +297,27 @@ def expr_to_wfa(expr: Expr, extra_alphabet: FrozenSet[str] = frozenset()) -> WFA
     n = fragment.count
     start, end = 0, 1
 
-    eps = _zeros(n, n)
+    eps = SparseMatrix(n, n, EXT_NAT)
     for i, j in fragment.epsilon:
-        eps[i][j] = eps[i][j] + ONE
-    closure = matrix_star(eps)
+        eps.add_entry(i, j, ONE)
+    closure = eps.star()
+    closure_rows = closure.rows
 
+    initial = [ZERO] * n
+    for j, value in closure_rows.get(start, {}).items():
+        initial[j] = value
     wfa = WFA(
         num_states=n,
         alphabet=sigma,
-        initial=[closure[start][j] for j in range(n)],
+        initial=initial,
         final=[ONE if i == end else ZERO for i in range(n)],
     )
     for source, letter, target in fragment.letters:
         matrix = wfa.matrix(letter)
-        for j in range(n):
-            if not closure[target][j].is_zero:
-                matrix[source][j] = matrix[source][j] + closure[target][j]
+        closure_row = closure_rows.get(target)
+        if closure_row:
+            for j, value in closure_row.items():
+                matrix.add_entry(source, j, value)
     return wfa.trim()
 
 
@@ -385,15 +347,11 @@ def infinity_support_nfa(wfa: WFA) -> NFA:
                 nfa.accepting.add(pack(state, False))
             nfa.accepting.add(pack(state, True))
     for letter, matrix in wfa.matrices.items():
-        for i in range(n):
-            for j in range(n):
-                weight = matrix[i][j]
-                if weight.is_zero:
-                    continue
-                for bit in (False, True):
-                    nfa.add_transition(
-                        pack(i, bit), letter, pack(j, bit or weight.is_infinite)
-                    )
+        for i, j, weight in matrix.entries():
+            for bit in (False, True):
+                nfa.add_transition(
+                    pack(i, bit), letter, pack(j, bit or weight.is_infinite)
+                )
     return nfa
 
 
@@ -412,9 +370,12 @@ def drop_infinite_weights(wfa: WFA) -> WFA:
         final=[ZERO if w.is_infinite else w for w in wfa.final],
     )
     for letter, matrix in wfa.matrices.items():
-        cleaned.matrices[letter] = [
-            [ZERO if w.is_infinite else w for w in row] for row in matrix
-        ]
+        finite = SparseMatrix(wfa.num_states, wfa.num_states, EXT_NAT)
+        for i, row in matrix.rows.items():
+            picked = {j: w for j, w in row.items() if not w.is_infinite}
+            if picked:
+                finite.rows[i] = picked
+        cleaned.matrices[letter] = finite
     return cleaned
 
 
@@ -423,7 +384,9 @@ def restrict_to_dfa(wfa: WFA, dfa: DFA) -> WFA:
 
     The result's coefficient on ``w`` is ``wfa.weight(w)`` if ``dfa`` accepts
     ``w`` and ``0`` otherwise.  Letters of ``wfa`` missing from the DFA's
-    alphabet are treated as rejected by the DFA (weight 0).
+    alphabet are treated as rejected by the DFA (weight 0).  Only the
+    non-zero transitions of ``wfa`` are enumerated, so the product costs
+    ``O(m · nnz)`` rather than ``m · n²`` per letter.
     """
     n, m = wfa.num_states, dfa.num_states
 
@@ -447,9 +410,8 @@ def restrict_to_dfa(wfa: WFA, dfa: DFA) -> WFA:
         target = product.matrix(letter)
         for dstate in range(m):
             dnext = dfa.step(dstate, letter)
-            for i in range(n):
-                for j in range(n):
-                    weight = matrix[i][j]
-                    if not weight.is_zero:
-                        target[pack(i, dstate)][pack(j, dnext)] = weight
+            for i, row in matrix.rows.items():
+                packed_row = target.rows.setdefault(pack(i, dstate), {})
+                for j, weight in row.items():
+                    packed_row[pack(j, dnext)] = weight
     return product.trim()

@@ -70,19 +70,37 @@ __all__ = [
 
 
 class FTerm:
-    """Base class of flattened terms (immutable, hashable, totally ordered)."""
+    """Base class of flattened terms (immutable, hashable, totally ordered).
+
+    ``sort_key`` is computed once per node and cached in a slot: proof
+    search re-sorts flattened sums constantly (every :func:`make_sum` call
+    sorts its summands), and before caching each comparison recursed over
+    the whole subterm.  The cache slot is not a dataclass field, so it does
+    not participate in ``__eq__``/``__hash__``; frozen instances write it
+    via ``object.__setattr__``.  The unset state is probed with ``getattr``
+    and a sentinel rather than ``try/except AttributeError`` — most terms
+    are created, sorted once and discarded, and raising an exception per
+    fresh node costs more than the key computation it saves.
+    """
 
     __slots__ = ()
 
     def sort_key(self) -> Tuple:
+        key = getattr(self, "_cached_key", None)
+        if key is None:
+            key = self._compute_sort_key()
+            object.__setattr__(self, "_cached_key", key)
+        return key
+
+    def _compute_sort_key(self) -> Tuple:
         raise NotImplementedError
 
 
 @dataclass(frozen=True)
 class FZero(FTerm):
-    __slots__ = ()
+    __slots__ = ("_cached_key",)
 
-    def sort_key(self) -> Tuple:
+    def _compute_sort_key(self) -> Tuple:
         return (0,)
 
     def __str__(self) -> str:
@@ -91,9 +109,9 @@ class FZero(FTerm):
 
 @dataclass(frozen=True)
 class FOne(FTerm):
-    __slots__ = ()
+    __slots__ = ("_cached_key",)
 
-    def sort_key(self) -> Tuple:
+    def _compute_sort_key(self) -> Tuple:
         return (1,)
 
     def __str__(self) -> str:
@@ -103,9 +121,9 @@ class FOne(FTerm):
 @dataclass(frozen=True)
 class FSym(FTerm):
     name: str
-    __slots__ = ("name",)
+    __slots__ = ("name", "_cached_key")
 
-    def sort_key(self) -> Tuple:
+    def _compute_sort_key(self) -> Tuple:
         return (2, self.name)
 
     def __str__(self) -> str:
@@ -115,9 +133,9 @@ class FSym(FTerm):
 @dataclass(frozen=True)
 class FStar(FTerm):
     body: FTerm
-    __slots__ = ("body",)
+    __slots__ = ("body", "_cached_key")
 
-    def sort_key(self) -> Tuple:
+    def _compute_sort_key(self) -> Tuple:
         return (3, self.body.sort_key())
 
     def __str__(self) -> str:
@@ -132,9 +150,9 @@ class FProd(FTerm):
     """An n-ary product; ``args`` has length ≥ 2, no ``FProd``/``FOne`` inside."""
 
     args: Tuple[FTerm, ...]
-    __slots__ = ("args",)
+    __slots__ = ("args", "_cached_key")
 
-    def sort_key(self) -> Tuple:
+    def _compute_sort_key(self) -> Tuple:
         return (4, tuple(arg.sort_key() for arg in self.args))
 
     def __str__(self) -> str:
@@ -150,9 +168,9 @@ class FSum(FTerm):
     """An n-ary sum as a canonically sorted multiset; length ≥ 2."""
 
     args: Tuple[FTerm, ...]
-    __slots__ = ("args",)
+    __slots__ = ("args", "_cached_key")
 
-    def sort_key(self) -> Tuple:
+    def _compute_sort_key(self) -> Tuple:
         return (5, tuple(arg.sort_key() for arg in self.args))
 
     def __str__(self) -> str:

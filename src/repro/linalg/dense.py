@@ -1,0 +1,144 @@
+"""Dense reference kernels, generic over a :class:`SemiringSpec`.
+
+These are the straightforward list-of-lists implementations the sparse
+backend is validated against (see ``tests/test_linalg_backend.py``) and the
+dense *baseline* timed by ``benchmarks/bench_scalability.py``.  They are
+deliberately unclever — the point is to be obviously correct — but they do
+validate their inputs: ragged rows and shape mismatches raise
+:class:`repro.util.errors.DecisionError` with the shapes in the message
+instead of surfacing as ``IndexError`` deep inside a loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from repro.linalg.semiring import SemiringSpec
+from repro.util.errors import DecisionError
+
+__all__ = [
+    "dense_shape",
+    "dense_zeros",
+    "dense_identity",
+    "dense_add",
+    "dense_mul",
+    "dense_star",
+]
+
+DenseMatrix = List[List[Any]]
+
+
+def dense_shape(matrix: Sequence[Sequence[Any]]) -> Tuple[int, int]:
+    """The ``(rows, cols)`` shape; ragged input raises :class:`DecisionError`."""
+    nrows = len(matrix)
+    ncols = len(matrix[0]) if nrows else 0
+    for i, row in enumerate(matrix):
+        if len(row) != ncols:
+            raise DecisionError(
+                f"ragged dense matrix: row 0 has {ncols} columns, "
+                f"row {i} has {len(row)}"
+            )
+    return nrows, ncols
+
+
+def dense_zeros(nrows: int, ncols: int, semiring: SemiringSpec) -> DenseMatrix:
+    zero = semiring.zero
+    return [[zero] * ncols for _ in range(nrows)]
+
+
+def dense_identity(n: int, semiring: SemiringSpec) -> DenseMatrix:
+    result = dense_zeros(n, n, semiring)
+    for i in range(n):
+        result[i][i] = semiring.one
+    return result
+
+
+def dense_add(
+    a: Sequence[Sequence[Any]], b: Sequence[Sequence[Any]], semiring: SemiringSpec
+) -> DenseMatrix:
+    shape_a, shape_b = dense_shape(a), dense_shape(b)
+    if shape_a != shape_b:
+        raise DecisionError(
+            f"matrix addition shape mismatch: {shape_a} vs {shape_b}"
+        )
+    plus = semiring.add
+    return [[plus(x, y) for x, y in zip(row_a, row_b)] for row_a, row_b in zip(a, b)]
+
+
+def dense_mul(
+    a: Sequence[Sequence[Any]], b: Sequence[Sequence[Any]], semiring: SemiringSpec
+) -> DenseMatrix:
+    (rows, inner_a), (inner_b, cols) = dense_shape(a), dense_shape(b)
+    if inner_a != inner_b:
+        raise DecisionError(
+            f"matrix product shape mismatch: ({rows}, {inner_a}) "
+            f"· ({inner_b}, {cols})"
+        )
+    plus, times, is_zero = semiring.add, semiring.mul, semiring.is_zero
+    result = dense_zeros(rows, cols, semiring)
+    for i in range(rows):
+        row_a, out = a[i], result[i]
+        for k in range(inner_a):
+            coeff = row_a[k]
+            if is_zero(coeff):
+                continue
+            row_b = b[k]
+            for j in range(cols):
+                if not is_zero(row_b[j]):
+                    out[j] = plus(out[j], times(coeff, row_b[j]))
+    return result
+
+
+def dense_star(matrix: Sequence[Sequence[Any]], semiring: SemiringSpec) -> DenseMatrix:
+    """``m* = Σ_k m^k`` by the recursive 2×2 block formula (no sparsity tricks).
+
+    With ``m = [[A, B], [C, D]]``:
+
+    * ``F = (A + B · D* · C)*``
+    * ``m* = [[F,            F · B · D*                ],
+              [D* · C · F,   D* + D* · C · F · B · D* ]]``
+    """
+    nrows, ncols = dense_shape(matrix)
+    if nrows != ncols:
+        raise DecisionError(
+            f"matrix star requires a square matrix, got ({nrows}, {ncols})"
+        )
+    return _dense_star_rec([list(row) for row in matrix], semiring)
+
+
+def _dense_star_rec(m: DenseMatrix, semiring: SemiringSpec) -> DenseMatrix:
+    n = len(m)
+    if n == 0:
+        return []
+    if n == 1:
+        return [[semiring.scalar_star(m[0][0])]]
+    half = n // 2
+
+    def block(rows: range, cols: range) -> DenseMatrix:
+        return [[m[i][j] for j in cols] for i in rows]
+
+    top, bottom = range(0, half), range(half, n)
+    a, b = block(top, top), block(top, bottom)
+    c, d = block(bottom, top), block(bottom, bottom)
+    d_star = _dense_star_rec(d, semiring)
+    f = _dense_star_rec(
+        dense_add(a, dense_mul(dense_mul(b, d_star, semiring), c, semiring), semiring),
+        semiring,
+    )
+    fb_dstar = dense_mul(dense_mul(f, b, semiring), d_star, semiring)
+    dstar_cf = dense_mul(dense_mul(d_star, c, semiring), f, semiring)
+    bottom_right = dense_add(
+        d_star, dense_mul(dstar_cf, dense_mul(b, d_star, semiring), semiring), semiring
+    )
+    result = dense_zeros(n, n, semiring)
+    for i in range(half):
+        for j in range(half):
+            result[i][j] = f[i][j]
+        for j in range(half, n):
+            result[i][j] = fb_dstar[i][j - half]
+    for i in range(half, n):
+        for j in range(half):
+            result[i][j] = dstar_cf[i - half][j]
+        for j in range(half, n):
+            result[i][j] = bottom_right[i - half][j - half]
+    return result

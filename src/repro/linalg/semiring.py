@@ -1,0 +1,113 @@
+"""Weight-semiring protocol for the generic linear-algebra backend.
+
+A :class:`SemiringSpec` bundles the constants and operations the kernels in
+:mod:`repro.linalg.sparse` / :mod:`repro.linalg.dense` need; any coefficient
+type can be plugged in by describing it here.  Three instances cover every
+weight domain the decision pipeline uses today:
+
+* :data:`EXT_NAT` — the paper's coefficient semiring ``N̄ = N ∪ {∞}``
+  (:class:`repro.core.semiring.ExtNat`), a complete star semiring;
+* :data:`BOOL` — the Boolean semiring ``({0,1}, ∨, ∧)``; its matrices are
+  adjacency relations and ``star`` is reflexive-transitive closure, which is
+  how NFA/DFA reachability becomes an instance of the same kernel;
+* :data:`FRACTION` — the field ``Q`` (:class:`fractions.Fraction`) used by
+  Tzeng's algorithm; its ``star`` is the geometric sum ``a* = 1/(1-a)``,
+  defined only for ``a ≠ 1`` (matrix star over ``Q`` is therefore partial —
+  the sparse kernel raises :class:`repro.util.errors.DecisionError` when the
+  recursion hits an undefined scalar star).
+
+The protocol is deliberately *first-order* (plain callables, no abstract
+base class): kernels fetch ``add``/``mul`` once into locals, which keeps the
+inner loops free of attribute lookups and lets instances wrap existing
+operator implementations without adapter classes.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Callable, Optional
+
+from repro.core.semiring import ExtNat, INF, ONE, ZERO
+from repro.util.errors import DecisionError
+
+__all__ = ["SemiringSpec", "EXT_NAT", "BOOL", "FRACTION"]
+
+
+@dataclass(frozen=True)
+class SemiringSpec:
+    """The operations a coefficient semiring exposes to the kernels.
+
+    Attributes:
+        name: identifier used in error messages and matrix ``repr``.
+        zero: additive identity (matrices never store it explicitly).
+        one: multiplicative identity.
+        add: binary addition (associative, commutative, ``zero`` neutral).
+        mul: binary multiplication (associative, ``one`` neutral, ``zero``
+            annihilating).
+        star: Kleene star ``a* = Σ_k a^k`` when the semiring has one, else
+            ``None`` (matrix ``star`` is then only defined for nilpotent —
+            loop-free — matrices, which need no scalar star).
+        is_zero: fast zero test; instances provide the cheapest predicate
+            available (e.g. ``ExtNat.is_zero`` avoids an ``__eq__`` call).
+    """
+
+    name: str
+    zero: Any
+    one: Any
+    add: Callable[[Any, Any], Any]
+    mul: Callable[[Any, Any], Any]
+    is_zero: Callable[[Any], bool]
+    star: Optional[Callable[[Any], Any]] = None
+
+    def scalar_star(self, value: Any) -> Any:
+        """``value*``, raising :class:`DecisionError` when undefined."""
+        if self.star is None:
+            raise DecisionError(
+                f"semiring {self.name!r} has no star operation; "
+                "matrix star is only defined for loop-free matrices here"
+            )
+        return self.star(value)
+
+
+EXT_NAT = SemiringSpec(
+    name="ExtNat",
+    zero=ZERO,
+    one=ONE,
+    add=operator.add,
+    mul=operator.mul,
+    is_zero=lambda value: value.is_zero,
+    star=ExtNat.star,
+)
+"""``N̄``: the complete star semiring of Def. A.1 (``INF`` available)."""
+
+
+BOOL = SemiringSpec(
+    name="bool",
+    zero=False,
+    one=True,
+    add=operator.or_,
+    mul=operator.and_,
+    is_zero=operator.not_,
+    star=lambda value: True,
+)
+"""Boolean semiring; matrix star = reflexive-transitive closure."""
+
+
+def _fraction_star(value: Fraction) -> Fraction:
+    if value == 1:
+        raise DecisionError("Fraction star undefined at 1 (geometric sum diverges)")
+    return Fraction(1) / (Fraction(1) - value)
+
+
+FRACTION = SemiringSpec(
+    name="Fraction",
+    zero=Fraction(0),
+    one=Fraction(1),
+    add=operator.add,
+    mul=operator.mul,
+    is_zero=lambda value: value == 0,
+    star=_fraction_star,
+)
+"""The field ``Q``; star is the geometric sum, partial (undefined at 1)."""

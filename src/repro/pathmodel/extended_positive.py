@@ -92,6 +92,18 @@ class ExtendedPositive:
         pre_scale = float(np.abs(finite_part).max(initial=0.0))
         if np.abs(compressed).max(initial=0.0) < max(1e-12, 1e-14 * pre_scale):
             compressed = np.zeros_like(compressed)
+        # Anti-Hermitian debris follows the same scale-relative rationale:
+        # compressing away a divergent direction of size ~1e14 leaves an
+        # asymmetry of order eps·1e14 ≈ 1e-2 in the remainder, which no
+        # fixed tolerance survives.  A genuine finite part is exactly
+        # Hermitian, so fold debris bounded by the pre-compression dust
+        # scale back onto the Hermitian part; larger asymmetries are real
+        # errors and still fail the PSD check below.
+        asymmetry = float(
+            np.abs(compressed - dagger(compressed)).max(initial=0.0)
+        )
+        if asymmetry <= max(1e-9, 1e-12 * pre_scale):
+            compressed = (compressed + dagger(compressed)) / 2
         self.finite_part = compressed
         self.atol = atol
         # PSD tolerance is relative to the matrix actually being checked

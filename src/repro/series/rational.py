@@ -4,14 +4,17 @@ A rational series is one denoted by an NKA expression through ``{{−}}``.
 This module is the user-facing wrapper tying together the two exact
 representations the library maintains for such a series:
 
-* the *automaton* form (:class:`repro.automata.wfa.WFA`) supporting
-  coefficients of arbitrary words and exact equality;
+* the *automaton* form (:class:`repro.automata.wfa.WFA`, transition
+  matrices sparse over the ``EXT_NAT`` semiring of :mod:`repro.linalg`)
+  supporting coefficients of arbitrary words and exact equality;
 * the *truncated table* form (:class:`repro.series.power_series.TruncatedSeries`)
   supporting exhaustive inspection up to a length bound.
 
 Theorem A.6 (Bloom–Ésik / Ésik–Kuich) states NKA is sound and complete for
 rational series: ``⊢NKA e = f  ⟺  {{e}} = {{f}}``.  :meth:`RationalSeries.
-__eq__` decides the right-hand side, hence the left.
+__eq__` decides the right-hand side, hence the left.  Equality and
+coefficient queries are routed through :mod:`repro.core.decision`, so they
+ride the bounded compile/verdict LRUs instead of recompiling per call.
 """
 
 from __future__ import annotations
@@ -19,9 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
-from repro.automata.equivalence import EquivalenceResult, wfa_equivalent
+from repro.automata.equivalence import EquivalenceResult
 from repro.automata.wfa import WFA, expr_to_wfa
-from repro.core.expr import Expr, alphabet
+from repro.core.decision import coefficient as decide_coefficient
+from repro.core.decision import nka_equal_detailed
+from repro.core.expr import Expr
 from repro.core.semiring import ExtNat
 from repro.series.power_series import TruncatedSeries, series_of_expr
 
@@ -42,19 +47,21 @@ class RationalSeries:
         return self._wfa
 
     def coefficient(self, word: Sequence[str]) -> ExtNat:
-        """``{{expr}}[word]``, exact in ``N̄``."""
-        return self.automaton.weight(tuple(word))
+        """``{{expr}}[word]``, exact in ``N̄`` (cached compiled automaton)."""
+        return decide_coefficient(self.expr, tuple(word))
 
     def truncate(self, max_length: int) -> TruncatedSeries:
         """All coefficients up to ``max_length`` via the direct evaluator."""
         return series_of_expr(self.expr, max_length)
 
     def equivalence(self, other: "RationalSeries") -> EquivalenceResult:
-        """Decide series equality with a witness on failure."""
-        sigma = frozenset(alphabet(self.expr) | alphabet(other.expr))
-        left = expr_to_wfa(self.expr, extra_alphabet=sigma)
-        right = expr_to_wfa(other.expr, extra_alphabet=sigma)
-        return wfa_equivalent(left, right)
+        """Decide series equality with a witness on failure.
+
+        Delegates to the decision pipeline, sharing its compile and verdict
+        caches: comparing one series against many others compiles each
+        automaton once.
+        """
+        return nka_equal_detailed(self.expr, other.expr)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RationalSeries):

@@ -98,6 +98,51 @@ def rebuild(expr: Expr) -> Expr:
     return type(expr)()  # Zero / One singletons
 
 
+def random_int_entries(
+    rng: random.Random,
+    nrows: int,
+    ncols: int,
+    density: float = 0.25,
+    lo: int = 0,
+    hi: int = 4,
+) -> List[Tuple[int, int, int]]:
+    """Seeded sparse ``(i, j, value)`` triples with non-zero integer values.
+
+    ``density`` is the probability that a cell carries an entry; values are
+    drawn uniformly from ``[lo, hi] \\ {0}``.  Shared by the linear-algebra
+    backend property tests, which map the integers into each weight
+    semiring (``ExtNat(v)``, ``Fraction(v)``, ``bool(v)``).
+    """
+    entries: List[Tuple[int, int, int]] = []
+    for i in range(nrows):
+        for j in range(ncols):
+            if rng.random() < density:
+                value = rng.randint(lo, hi)
+                if value != 0:
+                    entries.append((i, j, value))
+    return entries
+
+
+def random_strictly_upper_entries(
+    rng: random.Random,
+    n: int,
+    density: float = 0.4,
+    lo: int = -3,
+    hi: int = 3,
+) -> List[Tuple[int, int, int]]:
+    """Seeded entries above the diagonal only — a loop-free (nilpotent) matrix.
+
+    Nilpotent matrices are the case where ``star`` is a finite sum needing
+    no scalar star, so they are the star test bed for semirings without a
+    total star (e.g. ``Fraction``).
+    """
+    return [
+        (i, j, v)
+        for (i, j, v) in random_int_entries(rng, n, n, density, lo, hi)
+        if i < j
+    ]
+
+
 def short_words(
     letters: Sequence[str], max_length: int
 ) -> Iterator[Tuple[str, ...]]:

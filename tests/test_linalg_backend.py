@@ -1,0 +1,353 @@
+"""Property tests for the semiring-generic sparse linear-algebra backend.
+
+The sparse kernels (:mod:`repro.linalg.sparse`) are validated against the
+retained dense reference implementation (:mod:`repro.linalg.dense`) over
+all three production semirings — ``EXT_NAT``, ``FRACTION`` and ``BOOL`` —
+on seeded random matrices from :mod:`tests.gen`; the fraction-free integer
+``RowSpace`` fast path is validated against the classical ``Fraction``
+echelon path; and the end-to-end WFA pipeline is cross-checked sparse vs
+dense on random expressions.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.automata.linalg import RowSpace as CompatRowSpace
+from repro.automata.wfa import expr_to_wfa, matrix_add, matrix_mul, matrix_star
+from repro.core.decision import clear_caches, nka_equal_many_detailed
+from repro.core.semiring import ExtNat, ONE, ZERO
+from repro.linalg import (
+    BOOL,
+    EXT_NAT,
+    FRACTION,
+    RowSpace,
+    SparseMatrix,
+    dense_add,
+    dense_mul,
+    dense_star,
+    dot,
+    reachable,
+    vec_mat,
+)
+from repro.util.errors import DecisionError
+from tests.gen import (
+    random_exprs,
+    random_int_entries,
+    random_strictly_upper_entries,
+    short_words,
+)
+
+SEMIRING_EMBEDDINGS = [
+    pytest.param(EXT_NAT, lambda v: ExtNat(abs(v)), id="ExtNat"),
+    pytest.param(FRACTION, lambda v: Fraction(v), id="Fraction"),
+    pytest.param(BOOL, lambda v: bool(v), id="bool"),
+]
+
+
+def _build_pair(entries, nrows, ncols, semiring, embed):
+    """The same matrix as (sparse, dense list-of-lists)."""
+    sparse = SparseMatrix(nrows, ncols, semiring)
+    dense = [[semiring.zero] * ncols for _ in range(nrows)]
+    for i, j, value in entries:
+        weight = embed(value)
+        sparse.add_entry(i, j, weight)
+        dense[i][j] = semiring.add(dense[i][j], weight) if dense[i][j] != semiring.zero else weight
+    return sparse, dense
+
+
+class TestSparseAgreesWithDense:
+    @pytest.mark.parametrize("semiring, embed", SEMIRING_EMBEDDINGS)
+    def test_mul_matches_dense_reference(self, semiring, embed):
+        rng = random.Random(11)
+        for _ in range(40):
+            n, k, m = rng.randint(1, 7), rng.randint(1, 7), rng.randint(1, 7)
+            sa, da = _build_pair(
+                random_int_entries(rng, n, k, 0.35, 0, 3), n, k, semiring, embed
+            )
+            sb, db = _build_pair(
+                random_int_entries(rng, k, m, 0.35, 0, 3), k, m, semiring, embed
+            )
+            assert sa.mul(sb).to_dense() == dense_mul(da, db, semiring)
+
+    @pytest.mark.parametrize("semiring, embed", SEMIRING_EMBEDDINGS)
+    def test_add_matches_dense_reference(self, semiring, embed):
+        rng = random.Random(12)
+        for _ in range(40):
+            n, m = rng.randint(1, 8), rng.randint(1, 8)
+            sa, da = _build_pair(
+                random_int_entries(rng, n, m, 0.3, 0, 3), n, m, semiring, embed
+            )
+            sb, db = _build_pair(
+                random_int_entries(rng, n, m, 0.3, 0, 3), n, m, semiring, embed
+            )
+            assert sa.add(sb).to_dense() == dense_add(da, db, semiring)
+
+    @pytest.mark.parametrize(
+        "semiring, embed",
+        [SEMIRING_EMBEDDINGS[0], SEMIRING_EMBEDDINGS[2]],
+    )
+    def test_star_matches_dense_reference_total_semirings(self, semiring, embed):
+        """Arbitrary (cyclic) matrices over semirings with a total star."""
+        rng = random.Random(13)
+        for _ in range(40):
+            n = rng.randint(1, 8)
+            sparse, dense = _build_pair(
+                random_int_entries(rng, n, n, 0.3, 0, 2), n, n, semiring, embed
+            )
+            assert sparse.star().to_dense() == dense_star(dense, semiring)
+
+    @pytest.mark.parametrize("semiring, embed", SEMIRING_EMBEDDINGS)
+    def test_star_nilpotent_matches_finite_sum(self, semiring, embed):
+        """Loop-free matrices: star must be the finite sum ``Σ_{k<n} M^k``.
+
+        Works over *every* semiring — including ``Fraction``, whose scalar
+        star is partial — because the short-circuit needs no scalar star.
+        """
+        rng = random.Random(14)
+        for _ in range(40):
+            n = rng.randint(1, 8)
+            entries = random_strictly_upper_entries(rng, n, 0.5, 1, 3)
+            sparse, dense = _build_pair(entries, n, n, semiring, embed)
+            star = sparse.star().to_dense()
+            # Finite sum computed with the dense reference kernels only.
+            expected = [
+                [semiring.one if i == j else semiring.zero for j in range(n)]
+                for i in range(n)
+            ]
+            power = dense
+            for _ in range(n):
+                expected = dense_add(expected, power, semiring)
+                power = dense_mul(power, dense, semiring)
+            assert star == expected
+
+    def test_star_mixed_structure_extnat(self):
+        """Cyclic + acyclic parts together (block pruning paths)."""
+        rng = random.Random(15)
+        for _ in range(30):
+            n = rng.randint(2, 9)
+            entries = random_strictly_upper_entries(rng, n, 0.4, 1, 2)
+            if rng.random() < 0.7:
+                i = rng.randrange(n)
+                entries.append((i, i, 1))  # a self-loop: star must go ∞ there
+            sparse, dense = _build_pair(
+                entries, n, n, EXT_NAT, lambda v: ExtNat(abs(v))
+            )
+            assert sparse.star().to_dense() == dense_star(dense, EXT_NAT)
+
+    def test_vec_mat_matches_dense(self):
+        rng = random.Random(16)
+        for _ in range(30):
+            n, m = rng.randint(1, 7), rng.randint(1, 7)
+            sparse, dense = _build_pair(
+                random_int_entries(rng, n, m, 0.35, 0, 3),
+                n, m, EXT_NAT, lambda v: ExtNat(abs(v)),
+            )
+            row = [ExtNat(rng.randint(0, 2)) for _ in range(n)]
+            got = vec_mat(
+                {i: v for i, v in enumerate(row) if not v.is_zero}, sparse
+            )
+            expected = [
+                sum((row[i] * dense[i][j] for i in range(n)), ZERO)
+                for j in range(m)
+            ]
+            assert [got.get(j, ZERO) for j in range(m)] == expected
+
+
+class TestRowSpaceFastPath:
+    def test_integer_and_fraction_modes_agree(self):
+        """Same inserts, same verdicts, same ranks — int fast path vs ``Q``."""
+        rng = random.Random(21)
+        for _ in range(60):
+            dim = rng.randint(1, 8)
+            fast, slow = RowSpace(dim), RowSpace(dim)
+            # Force the reference instance onto the Fraction path.
+            slow._demote_to_fractions()
+            for _ in range(2 * dim + 2):
+                candidate = tuple(rng.randint(-6, 6) for _ in range(dim))
+                as_fractions = tuple(Fraction(v) for v in candidate)
+                assert fast.insert(candidate) == slow.insert(as_fractions)
+                assert fast.rank == slow.rank
+                assert fast.contains(candidate) and slow.contains(as_fractions)
+            assert fast.integer_mode
+            probe = tuple(rng.randint(-6, 6) for _ in range(dim))
+            assert fast.contains(probe) == slow.contains(
+                tuple(Fraction(v) for v in probe)
+            )
+
+    def test_demotion_mid_stream_keeps_answers(self):
+        rng = random.Random(22)
+        for _ in range(30):
+            dim = rng.randint(2, 6)
+            mixed, reference = RowSpace(dim), RowSpace(dim)
+            reference._demote_to_fractions()
+            inserted = []
+            for step in range(dim + 2):
+                if step == dim // 2:
+                    candidate = tuple(
+                        Fraction(rng.randint(-5, 5), rng.randint(2, 4))
+                        for _ in range(dim)
+                    )
+                else:
+                    candidate = tuple(rng.randint(-5, 5) for _ in range(dim))
+                inserted.append(candidate)
+                assert mixed.insert(candidate) == reference.insert(
+                    tuple(Fraction(v) for v in candidate)
+                )
+            assert not mixed.integer_mode
+            for candidate in inserted:
+                assert mixed.contains(candidate)
+
+    def test_rank_matches_brute_force(self):
+        """Rank agrees with a from-scratch Fraction Gaussian elimination."""
+        rng = random.Random(23)
+        for _ in range(40):
+            dim = rng.randint(1, 6)
+            rows = [
+                tuple(rng.randint(-4, 4) for _ in range(dim))
+                for _ in range(rng.randint(1, 8))
+            ]
+            space = RowSpace(dim)
+            for row in rows:
+                space.insert(row)
+            matrix = [[Fraction(v) for v in row] for row in rows]
+            rank = 0
+            for col in range(dim):
+                pivot_row = next(
+                    (r for r in range(rank, len(matrix)) if matrix[r][col] != 0),
+                    None,
+                )
+                if pivot_row is None:
+                    continue
+                matrix[rank], matrix[pivot_row] = matrix[pivot_row], matrix[rank]
+                lead = matrix[rank][col]
+                for r in range(len(matrix)):
+                    if r != rank and matrix[r][col] != 0:
+                        factor = matrix[r][col] / lead
+                        matrix[r] = [
+                            a - factor * b for a, b in zip(matrix[r], matrix[rank])
+                        ]
+                rank += 1
+            assert space.rank == rank
+            assert space.integer_mode
+
+    def test_compat_facade_is_same_class(self):
+        assert CompatRowSpace is RowSpace
+
+
+class TestValidation:
+    def test_ragged_dense_input_raises_decision_error(self):
+        with pytest.raises(DecisionError, match="ragged"):
+            SparseMatrix.from_dense([[ZERO, ONE], [ZERO]], EXT_NAT)
+        with pytest.raises(DecisionError, match="ragged"):
+            matrix_star([[ZERO, ONE], [ZERO]])
+
+    def test_shape_mismatch_raises_with_shapes(self):
+        a = SparseMatrix(2, 3, EXT_NAT)
+        b = SparseMatrix(2, 3, EXT_NAT)
+        with pytest.raises(DecisionError, match=r"\(2, 3\).*\(2, 3\)"):
+            a.mul(b)
+        with pytest.raises(DecisionError, match=r"\(2, 3\)"):
+            a.add(SparseMatrix(3, 2, EXT_NAT))
+
+    def test_dense_wrappers_validate(self):
+        with pytest.raises(DecisionError, match="square"):
+            matrix_star([[ZERO, ONE]])
+        with pytest.raises(DecisionError, match="mismatch"):
+            matrix_mul([[ZERO]], [[ZERO, ONE], [ZERO, ONE]])
+        with pytest.raises(DecisionError, match="mismatch"):
+            matrix_add([[ZERO]], [[ZERO, ONE]])
+
+    def test_out_of_range_indices_raise_decision_error(self):
+        matrix = SparseMatrix(2, 2, EXT_NAT)
+        with pytest.raises(DecisionError, match="out of range"):
+            matrix.set(2, 0, ONE)
+        with pytest.raises(DecisionError, match="out of range"):
+            matrix.get(0, 5)
+
+    def test_vector_dimension_mismatch(self):
+        with pytest.raises(DecisionError, match="dimension mismatch"):
+            dot((1, 2), (1, 2, 3))
+        space = RowSpace(3)
+        with pytest.raises(DecisionError, match="dimension 2"):
+            space.insert((1, 2))
+
+    def test_star_without_scalar_star_raises_on_cycles(self):
+        cyclic = SparseMatrix.from_dense([[Fraction(1)]], FRACTION)
+        with pytest.raises(DecisionError):
+            cyclic.star()
+
+
+class TestReachability:
+    def test_reachable_matches_brute_force(self):
+        rng = random.Random(31)
+        for _ in range(30):
+            n = rng.randint(1, 9)
+            entries = random_int_entries(rng, n, n, 0.25, 1, 1)
+            adjacency = SparseMatrix.from_entries(
+                n, n, [(i, j, True) for i, j, _ in entries], BOOL
+            )
+            seeds = {s for s in range(n) if rng.random() < 0.3}
+            got = reachable(adjacency, seeds)
+            expected = set(seeds)
+            changed = True
+            while changed:
+                changed = False
+                for i, j, _ in entries:
+                    if i in expected and j not in expected:
+                        expected.add(j)
+                        changed = True
+            assert got == expected
+
+
+class TestPipelineEndToEnd:
+    def test_sparse_weights_match_dense_propagation(self):
+        """Compiled WFAs: sparse ``weight`` vs dense vector propagation."""
+        rng = random.Random(41)
+        for expr in random_exprs(41, 25, depth=3):
+            wfa = expr_to_wfa(expr)
+            for word in list(short_words(("a", "b"), 3))[:20]:
+                sparse_weight = wfa.weight(word)
+                row = list(wfa.initial)
+                for letter in word:
+                    matrix = wfa.matrices.get(letter)
+                    dense = (
+                        matrix.to_dense()
+                        if matrix is not None
+                        else [
+                            [ZERO] * wfa.num_states
+                            for _ in range(wfa.num_states)
+                        ]
+                    )
+                    row = [
+                        sum(
+                            (row[i] * dense[i][j] for i in range(wfa.num_states)),
+                            ZERO,
+                        )
+                        for j in range(wfa.num_states)
+                    ]
+                expected = sum(
+                    (value * final for value, final in zip(row, wfa.final)), ZERO
+                )
+                assert sparse_weight == expected, (expr, word)
+
+    def test_equivalence_verdicts_stable_across_backend(self):
+        """Seeded equality workload answers match direct series evidence."""
+        clear_caches()
+        exprs = random_exprs(42, 12, depth=3)
+        pairs = [(e, e) for e in exprs[:4]]
+        pairs += [(exprs[i], exprs[i + 1]) for i in range(len(exprs) - 1)]
+        results = nka_equal_many_detailed(pairs)
+        for (left, right), result in zip(pairs, results):
+            left_wfa = expr_to_wfa(left, extra_alphabet=frozenset("abc"))
+            right_wfa = expr_to_wfa(right, extra_alphabet=frozenset("abc"))
+            if result.equal:
+                assert all(
+                    left_wfa.weight(w) == right_wfa.weight(w)
+                    for w in short_words(("a", "b", "c"), 3)
+                )
+            else:
+                witness = result.counterexample
+                assert witness is not None
+                assert left_wfa.weight(witness) != right_wfa.weight(witness)
