@@ -1,0 +1,129 @@
+"""Benchmark-regression gate for the Section 6 derivation replay.
+
+Measures the warm replay of
+:func:`repro.applications.normal_form.prove_section6_example` — the hottest
+consumer of the interned AC rewrite engine — and compares it against the
+committed baseline in ``benchmarks/baseline_sec6.json``.  The gate fails
+(exit code 1) when the replay regresses more than ``max_regression_pct``
+against the baseline.
+
+CI runners and developer machines differ in raw speed *and* in momentary
+load, so the gated metric is dimensionless: each round runs a fixed
+pure-Python calibration probe (dict lookups, tuple allocation, small sorts —
+the engine's operation profile) back-to-back with one replay and records the
+``replay / probe`` time ratio; the round median is compared against the
+committed median.  Because the probe and the replay sample the same
+interpreter, allocator and load conditions within each round, the ratio is
+stable where wall-clock is not.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_sec6_regression.py \
+        [--rounds 11] [--json BENCH_sec6.json] [--update-baseline]
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).parent / "baseline_sec6.json"
+
+
+def probe_once() -> float:
+    """Seconds for one pass of the fixed calibration workload."""
+    started = time.perf_counter()
+    table = {}
+    for i in range(40000):
+        key = (i % 701, i % 97)
+        table[key] = table.get(key, 0) + 1
+        if not i % 5:
+            _scratch = sorted(((i % 13, i), (i % 11, i), (i % 7, i)))
+    return time.perf_counter() - started
+
+
+def replay_once() -> float:
+    """Seconds for one warm Section 6 derivation replay."""
+    from repro.applications.normal_form import prove_section6_example
+
+    started = time.perf_counter()
+    proof, _hyps = prove_section6_example()
+    elapsed = time.perf_counter() - started
+    assert len(proof.steps) >= 20  # the replay must actually replay
+    return elapsed
+
+
+def measure(rounds: int):
+    """Median replay/probe ratio plus raw timings over paired rounds."""
+    from repro.applications.normal_form import prove_section6_example
+
+    prove_section6_example()  # warm-up: law compilation + memo fill
+    probe_once()
+    ratios = []
+    replays = []
+    for _ in range(rounds):
+        probe_s = probe_once()
+        replay_s = replay_once()
+        ratios.append(replay_s / probe_s)
+        replays.append(replay_s)
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2]
+    return median_ratio, min(replays) * 1000.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=11,
+                        help="paired probe+replay rounds (median ratio)")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write the measurement report to this path")
+    parser.add_argument("--baseline", type=str, default=str(BASELINE_PATH),
+                        help="baseline file to compare against")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run and exit 0")
+    args = parser.parse_args(argv)
+
+    ratio, replay_ms = measure(args.rounds)
+
+    if args.update_baseline:
+        payload = {
+            "benchmark": "sec6_derivation_replay",
+            "baseline_ratio": round(ratio, 4),
+            "baseline_replay_ms": round(replay_ms, 3),
+            "max_regression_pct": 25,
+        }
+        Path(args.baseline).write_text(json.dumps(payload, indent=2) + "\n",
+                                       encoding="utf-8")
+        print(f"baseline updated: {payload}")
+        return 0
+
+    baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    budget = baseline["baseline_ratio"] * (1 + baseline["max_regression_pct"] / 100)
+    report = {
+        "benchmark": "sec6_derivation_replay",
+        "replay_ms": round(replay_ms, 3),
+        "ratio": round(ratio, 4),
+        "baseline_ratio": baseline["baseline_ratio"],
+        "budget_ratio": round(budget, 4),
+        "max_regression_pct": baseline["max_regression_pct"],
+        "ok": ratio <= budget,
+    }
+    print(json.dumps(report, indent=2))
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n",
+                                   encoding="utf-8")
+        print(f"wrote {args.json}")
+    if not report["ok"]:
+        print(
+            f"REGRESSION: replay/probe ratio {ratio:.4f} exceeds budget "
+            f"{budget:.4f} (baseline {baseline['baseline_ratio']} "
+            f"+{baseline['max_regression_pct']}%)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,9 +26,10 @@ in Section 6 is replayed step-by-step by :func:`prove_section6_example`.
 
 This module is the hottest caller of the equational pipeline: the Section 6
 replay flattens the same guard expressions thousands of times, which is why
-``flatten`` is memoized on hash-consed nodes (see :mod:`repro.core.rewrite`)
-and why batched checks should prefer
-:func:`repro.core.decision.nka_equal_many`.
+``flatten`` is memoized on hash-consed nodes *and* flattened terms are
+themselves interned (see :mod:`repro.core.rewrite`) — every guard-algebra
+hypothesis applies by pointer-identity occurrence scan — and why batched
+checks should prefer :func:`repro.core.decision.nka_equal_many`.
 """
 
 from __future__ import annotations
@@ -41,7 +42,7 @@ import numpy as np
 from repro.core.expr import Expr, ONE, Symbol, ZERO
 from repro.core.hypotheses import HypothesisSet, commuting, guard_algebra
 from repro.core.proof import CheckedProof, Equation, Proof, apply_conditional_law
-from repro.core.rewrite import flatten, rewrite_candidates, unflatten
+from repro.core.rewrite import first_rewrite, flatten, unflatten
 from repro.core.theorems import (
     DENESTING,
     DENESTING_RIGHT,
@@ -447,6 +448,19 @@ def section6_hypotheses() -> Tuple[HypothesisSet, Dict[str, Symbol]]:
     return hyps, symbols
 
 
+def _merged(base: HypothesisSet, extra: HypothesisSet) -> HypothesisSet:
+    """Snapshot union of two hypothesis sets (``extra`` keeps growing, so
+    each proof captures its own copy).
+
+    Note the index-sharing benefit of handing :class:`~repro.core.proof.Proof`
+    a :class:`HypothesisSet` only materialises for the long-lived ``hyps``
+    set passed directly (each snapshot here has its own one-proof index,
+    same as a plain list); the snapshot keeps the hypothesis plumbing
+    uniform across the replay's sub-proofs.
+    """
+    return HypothesisSet().extend(base).extend(extra)
+
+
 def _prove_guard_kills_star(
     guard: Symbol, body: Expr, kill_hyp: Equation, first_hyp: Optional[Equation],
     hyps: HypothesisSet, name: str,
@@ -459,7 +473,7 @@ def _prove_guard_kills_star(
     unfolded term.
     """
     g = guard
-    proof = Proof(g * body.star(), hypotheses=list(hyps), name=name)
+    proof = Proof(g * body.star(), hypotheses=hyps, name=name)
     proof.step(g * (ONE + body * body.star()),
                by=FIXED_POINT_RIGHT, direction="rl", subst={"p": body},
                note="fixed-point")
@@ -468,14 +482,13 @@ def _prove_guard_kills_star(
                note="distribute")
     current = g + g * body * body.star()
     if first_hyp is not None:
-        # e.g. g1 g>0 = g1 before g1 g>1 = 0 fires.
-        candidates = list(
-            rewrite_candidates(flatten(current), first_hyp.lhs, first_hyp.rhs,
-                               frozenset(), limit=10000)
-        )
-        if not candidates:
+        # e.g. g1 g>0 = g1 before g1 g>1 = 0 fires.  Ground hypotheses apply
+        # by interned-identity occurrence scan, so taking the first candidate
+        # never materialises the full candidate set.
+        candidate = first_rewrite(flatten(current), first_hyp.lhs, first_hyp.rhs)
+        if candidate is None:
             raise ValueError(f"absorption step {first_hyp} found no target")
-        target = unflatten(candidates[0])
+        target = unflatten(candidate)
         proof.step(target, by=first_hyp, note=str(first_hyp))
     proof.step(g, by=kill_hyp, note=f"{kill_hyp} (annihilates the unfolding)")
     return proof.qed(g)
@@ -516,7 +529,7 @@ def prove_section6_example() -> Tuple[CheckedProof, HypothesisSet]:
 
     def commute_to(start: Expr, goal: Expr, name: str, steps) -> Equation:
         """A ground lemma proved by a chain of hypothesis rewrites."""
-        proof = Proof(start, hypotheses=list(hyps) + list(derived), name=name)
+        proof = Proof(start, hypotheses=_merged(hyps, derived), name=name)
         for target, hyp_name, direction in steps:
             proof.step(target, by=_lookup(hyps, derived, hyp_name), direction=direction)
         checked = proof.qed(goal)
@@ -559,7 +572,7 @@ def prove_section6_example() -> Tuple[CheckedProof, HypothesisSet]:
             (m21 * p2 * g2, f"{g2}{p2}={p2}{g2}", "lr"),
         ],
     )
-    premise_proof_g2a = Proof(g2 * a, hypotheses=list(hyps), name="g2A premise")
+    premise_proof_g2a = Proof(g2 * a, hypotheses=hyps, name="g2A premise")
     premise_proof_g2a.step(g2 * g_gt1 * m21 * p2, by=hyps.named("g2·g>0"))
     premise_proof_g2a.step(g2 * m21 * p2, by=hyps.named("g2·g>1"))
     premise_proof_g2a.step(m21 * g2 * p2, by=hyps.named(f"{g2}{m21}={m21}{g2}"))
@@ -575,7 +588,7 @@ def prove_section6_example() -> Tuple[CheckedProof, HypothesisSet]:
     derived.add(star_rewrite_g2.lhs, star_rewrite_g2.rhs, "g2A*=(m21p2)*g2")
 
     # -- Lemma: g2 X* = (m21 p2)* (g2 + m20 g0) ------------------------------------
-    lemma_g2x = Proof(g2 * x.star(), hypotheses=list(hyps) + list(derived),
+    lemma_g2x = Proof(g2 * x.star(), hypotheses=_merged(hyps, derived),
                       name="g2 X* = (m21 p2)* (g2 + m20 g0)")
     lemma_g2x.step(g2 * (a + b).star(), by=DISTRIB_LEFT,
                    subst={"p": g_gt0 * g_gt1, "q": m21 * p2, "r": m20 * g0},
@@ -621,7 +634,7 @@ def prove_section6_example() -> Tuple[CheckedProof, HypothesisSet]:
     derived.add(checked_g2x.conclusion.lhs, checked_g2x.conclusion.rhs, "g2X*")
 
     # -- Lemma: g1 (C X*) = (m11 p1) g1, then star-rewrite --------------------------
-    premise_g1c = Proof(g1 * (c * x.star()), hypotheses=list(hyps) + list(derived),
+    premise_g1c = Proof(g1 * (c * x.star()), hypotheses=_merged(hyps, derived),
                         name="g1 C X* premise")
     premise_g1c.step(g1 * g_le1 * m11 * p1 * x.star(), by=hyps.named("g1·g>0"))
     premise_g1c.step(g1 * m11 * p1 * x.star(), by=hyps.named("g1·g≤1"))
@@ -663,7 +676,7 @@ def prove_section6_example() -> Tuple[CheckedProof, HypothesisSet]:
     # -- Main chain -----------------------------------------------------------------
     main = Proof(
         g1 * (x + y).star() * g_le0,
-        hypotheses=list(hyps) + list(derived),
+        hypotheses=_merged(hyps, derived),
         name="Section 6 normal-form example",
     )
     main.step(g1 * x.star() * (y * x.star()).star() * g_le0,

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.linalg import RowSpace, dot
+from repro.linalg import RowSpace, dot, reachable
 from repro.automata.nfa import dfa_equivalent
 from repro.automata.wfa import (
     WFA,
@@ -72,13 +72,31 @@ def _finite_weight_to_int(weight) -> int:
     return weight.finite_value
 
 
+def _reachable_state_count(wfa: WFA) -> int:
+    """States reachable from the non-zero initial support via non-zero rows.
+
+    Every joint vector Tzeng generates is supported on these coordinates, so
+    their count bounds the dimension of the explored vector space — usually
+    far below ``num_states`` for automata with unreachable or dead regions.
+    Reuses the same support-adjacency + Boolean reachability that
+    :meth:`repro.automata.wfa.WFA.trim` runs on.
+    """
+    seeds = (i for i, weight in enumerate(wfa.initial) if not weight.is_zero)
+    return len(reachable(wfa._support_adjacency(), seeds))
+
+
 def tzeng_equivalent(left: WFA, right: WFA) -> EquivalenceResult:
     """Tzeng's equivalence algorithm for finitely-weighted automata.
 
     Explores words in breadth-first order, maintaining the joint left vector
     ``u(w) = (α_L · M_L(w), α_R · M_R(w))``.  The series are equal iff
     ``⟨u(w), (η_L, -η_R)⟩ = 0`` for every ``w``; it suffices to check one
-    word per independent vector, of which there are at most ``n_L + n_R``.
+    word per independent vector, of which there are at most ``n_L + n_R`` —
+    and in fact at most the number of *reachable* states of the two
+    automata.  Once the joint basis hits that bound, no successor can be
+    independent (and dependent vectors inherit ``⟨·, η⟩ = 0`` from the
+    basis), so the per-letter advance loop is skipped for the rest of the
+    queue: the early exit of ROADMAP lever 2.
 
     All vectors live in ``Z`` (the automata here carry finite natural
     weights), so the basis stays on :class:`repro.linalg.RowSpace`'s
@@ -94,6 +112,7 @@ def tzeng_equivalent(left: WFA, right: WFA) -> EquivalenceResult:
         + [_finite_weight_to_int(w) for w in right.initial]
     )
     alphabet = sorted(left.alphabet | right.alphabet)
+    reachable_bound = _reachable_state_count(left) + _reachable_state_count(right)
     basis = RowSpace(dim)
     queue: List[Tuple[IntVector, Tuple[str, ...]]] = []
     if basis.insert(start):
@@ -106,6 +125,10 @@ def tzeng_equivalent(left: WFA, right: WFA) -> EquivalenceResult:
                 counterexample=word,
                 reason=f"finite coefficients differ on word {' '.join(word) or 'ε'}",
             )
+        if basis.rank >= reachable_bound:
+            # Basis already spans the reachable coordinate subspace; only the
+            # zero-functional checks of the remaining queued vectors are left.
+            continue
         for letter in alphabet:
             successor = _advance(vector, left, right, letter)
             if basis.insert(successor):

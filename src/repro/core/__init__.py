@@ -52,7 +52,13 @@ from repro.core.hypotheses import (
 from repro.core.parser import ParseError, parse
 from repro.core.proof import CheckedProof, Equation, Law, Proof, law
 from repro.core.semiring import ExtNat, INF
-from repro.core.rewrite import ac_equivalent
+from repro.core.rewrite import (
+    RuleIndex,
+    ac_equivalent,
+    compile_rule,
+    fterm_intern_stats,
+    rewrite_candidates,
+)
 
 __all__ = [
     "Expr",
@@ -86,6 +92,10 @@ __all__ = [
     "clear_caches",
     "configure_caches",
     "ac_equivalent",
+    "rewrite_candidates",
+    "compile_rule",
+    "RuleIndex",
+    "fterm_intern_stats",
     "Proof",
     "CheckedProof",
     "Law",

@@ -77,6 +77,13 @@ SEMIRING_LAWS: Tuple[Law, ...] = (
     DISTRIB_RIGHT,
 )
 
+# Pre-compile every law into the interned rule cache: the flattened pattern
+# and head-shape key are computed once here, so the first proof step that
+# cites an axiom pays a pointer lookup, not a flatten.
+for _law in SEMIRING_LAWS:
+    _law.compiled()
+del _law
+
 
 @dataclass(frozen=True)
 class Inequality:

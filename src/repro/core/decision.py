@@ -33,8 +33,11 @@ wfa_equivalent``; because expressions are hash-consed
 * full equivalence verdicts live in a second LRU keyed by the expression
   pair (``decision.results``), stored symmetrically, so re-asking the same
   question is O(1);
-* upstream memos (``rewrite.flatten``, ``wfa.fragments``,
-  ``expr.alphabet``) are registered in the same registry.
+* upstream memos (``rewrite.flatten``, ``rewrite.match``,
+  ``rewrite.rules``, ``wfa.fragments``, ``expr.alphabet``) are registered
+  in the same registry; the weak FTerm intern tables report read-only
+  stats as ``rewrite.interned`` and are never cleared (entries vanish
+  with their last strong reference — see :mod:`repro.core.rewrite`).
 
 All caches are *bounded* with least-recently-used eviction — unlike the
 former ad-hoc dict that wiped itself wholesale at a size threshold — and

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.expr import Expr, ONE, Symbol, ZERO
 from repro.core.proof import Equation
+from repro.core.rewrite import RuleIndex, RuleTriple
 
 __all__ = [
     "HypothesisSet",
@@ -46,6 +47,8 @@ class HypothesisSet:
     """A named collection of ground equations used as proof hypotheses."""
 
     equations: List[Equation] = field(default_factory=list)
+    _index: Optional[RuleIndex] = field(default=None, repr=False, compare=False)
+    _index_size: int = field(default=-1, repr=False, compare=False)
 
     def add(self, lhs: Expr, rhs: Expr, name: str = "") -> "HypothesisSet":
         self.equations.append(Equation(lhs, rhs, name))
@@ -54,6 +57,32 @@ class HypothesisSet:
     def extend(self, other: "HypothesisSet") -> "HypothesisSet":
         self.equations.extend(other.equations)
         return self
+
+    def rules(self, bidirectional: bool = True) -> List[RuleTriple]:
+        """The hypotheses as oriented ground rewrite rules.
+
+        With ``bidirectional=True`` (the default) both orientations are
+        produced — the form :func:`repro.core.rewrite.reachable_by_rules`
+        expects for discharging conditional-law premises.
+        """
+        triples: List[RuleTriple] = [
+            (eq.lhs, eq.rhs, frozenset()) for eq in self.equations
+        ]
+        if bidirectional:
+            triples += [(eq.rhs, eq.lhs, frozenset()) for eq in self.equations]
+        return triples
+
+    def rule_index(self) -> RuleIndex:
+        """A head-shape :class:`~repro.core.rewrite.RuleIndex` over the set.
+
+        Cached and rebuilt only when equations were added since the last
+        call; compiled rules themselves are interned, so rebuilding after
+        an ``add`` only compiles the newcomers.
+        """
+        if self._index is None or self._index_size != len(self.equations):
+            self._index = RuleIndex(self.rules())
+            self._index_size = len(self.equations)
+        return self._index
 
     def __iter__(self):
         return iter(self.equations)

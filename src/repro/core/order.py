@@ -27,7 +27,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.expr import Expr, ONE, Product, Star, Sum
 from repro.core.proof import Equation, Law
-from repro.core.rewrite import ac_equivalent, flatten, rewrite_candidates
+from repro.core.rewrite import ac_equivalent, flatten, rewrites_to
 from repro.util.errors import ProofError
 
 __all__ = ["Inequation", "OrderProof", "CheckedOrderProof"]
@@ -117,9 +117,15 @@ class OrderProof:
         target: Union[Expr, str],
         by: Union[Law, Equation, str, None] = None,
         direction: str = "auto",
+        subst: Optional[dict] = None,
         note: str = "",
     ) -> "OrderProof":
-        """An equality link (both ≤): structural or by a law/hypothesis."""
+        """An equality link (both ≤): structural or by a law/hypothesis.
+
+        As in :meth:`repro.core.proof.Proof.step`, an explicit ``subst``
+        pins the law instantiation instead of searching for one (and enables
+        unit instantiations the automatic matcher avoids).
+        """
         target = self._parse(target)
         if by is None:
             if not ac_equivalent(self.current, target):
@@ -133,7 +139,7 @@ class OrderProof:
         from repro.core.proof import Proof
 
         inner = Proof(self.current, hypotheses=self.equations, name=f"{self.name}/eq")
-        inner.step(target, by=by, direction=direction)
+        inner.step(target, by=by, direction=direction, subst=subst)
         self._steps.append(_OrderStep(target, inner._steps[-1].law_name, note))
         self.current = target
         return self
@@ -216,11 +222,13 @@ class OrderProof:
         raise ProofError(f"unknown premise {by!r}")
 
     def _apply(self, lhs: Expr, rhs: Expr, target: Expr) -> bool:
-        current_flat = flatten(self.current)
-        target_flat = flatten(target)
-        for candidate in rewrite_candidates(
-            current_flat, lhs, rhs, frozenset(), limit=self.search_limit
-        ):
-            if candidate == target_flat:
-                return True
-        return False
+        # Ground monotone replacement: the compiled-rule engine reduces this
+        # to an identity scan over the interned occurrences of ``lhs``.
+        return rewrites_to(
+            flatten(self.current),
+            flatten(target),
+            lhs,
+            rhs,
+            frozenset(),
+            limit=self.search_limit,
+        )

@@ -24,15 +24,16 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.core.expr import Expr, Symbol, alphabet, substitute
 from repro.core.rewrite import (
-    FTerm,
+    CompiledRule,
+    RuleIndex,
     Substitution,
     ac_equivalent,
+    compile_rule,
     flatten,
     instantiate,
-    match,
     reachable_by_rules,
-    rewrite_candidates,
-    unflatten,
+    rewrite_with_substitutions,
+    rewrites_to,
 )
 from repro.util.errors import ProofError
 
@@ -92,6 +93,15 @@ class Law:
             rhs=substitute(self.rhs, mapping),
             name=self.name,
         )
+
+    def compiled(self) -> CompiledRule:
+        """The memoized compiled form (flattened pattern + head shape).
+
+        Laws, expressions and flattened patterns are all interned, so this
+        is a pointer-keyed cache hit after the first call — axiom/theorem
+        modules pre-compile their law tables at import time.
+        """
+        return compile_rule(self.lhs, self.rhs, self.variables)
 
 
 def law(
@@ -161,6 +171,11 @@ class Proof:
         self.name = name
         self.search_limit = search_limit
         self._steps: List[_Step] = []
+        self._hypothesis_index: Optional[RuleIndex] = None
+        # A HypothesisSet carries its own cached head-shape index; keep the
+        # reference so sibling proofs over the same set share one index
+        # (duck-typed to avoid a circular import with core.hypotheses).
+        self._hypothesis_source = hypotheses if hasattr(hypotheses, "rule_index") else None
 
     # -- step kinds -------------------------------------------------------------
 
@@ -250,24 +265,21 @@ class Proof:
         current_flat = flatten(self.current)
         target_flat = flatten(target)
         if subst is not None:
-            ground = rule.instance(subst)
-            ground_rule = Law(rule.name, ground.lhs, ground.rhs, frozenset())
             if not self._premises_hold(rule, subst):
                 return False
-            for candidate in rewrite_candidates(
+            ground = rule.instance(subst)
+            return rewrites_to(
                 current_flat,
-                ground_rule.lhs,
-                ground_rule.rhs,
-                ground_rule.variables,
+                target_flat,
+                ground.lhs,
+                ground.rhs,
+                frozenset(),
                 limit=self.search_limit,
-            ):
-                if candidate == target_flat:
-                    return True
-            return False
-        for candidate, used in _rewrite_with_substs(
-            current_flat, rule, self.search_limit
+            )
+        for candidate, used in rewrite_with_substitutions(
+            current_flat, rule.lhs, rule.rhs, rule.variables, limit=self.search_limit
         ):
-            if candidate == target_flat and self._premises_hold_flat(rule, used):
+            if candidate is target_flat and self._premises_hold_flat(rule, used):
                 return True
         return False
 
@@ -277,20 +289,38 @@ class Proof:
         }
         return self._premises_hold_flat(rule, flat_subst)
 
+    def _hypothesis_rules(self) -> RuleIndex:
+        """Both orientations of every ground hypothesis, shape-indexed.
+
+        When the proof was constructed from a
+        :class:`~repro.core.hypotheses.HypothesisSet`, its cached
+        :meth:`~repro.core.hypotheses.HypothesisSet.rule_index` is shared —
+        the Section 6 replay builds a dozen sub-proofs over the same guard
+        algebra.  The snapshot guard falls back to a local index if the set
+        was mutated after this proof captured its hypotheses.
+        """
+        source = self._hypothesis_source
+        if source is not None and len(source) == len(self.hypotheses):
+            return source.rule_index()
+        if self._hypothesis_index is None:
+            rules = [(hyp.lhs, hyp.rhs, frozenset()) for hyp in self.hypotheses]
+            rules += [(hyp.rhs, hyp.lhs, frozenset()) for hyp in self.hypotheses]
+            self._hypothesis_index = RuleIndex(rules)
+        return self._hypothesis_index
+
     def _premises_hold_flat(self, rule: Law, subst: Substitution) -> bool:
         if not rule.premises:
             return True
-        rules = [(hyp.lhs, hyp.rhs, frozenset()) for hyp in self.hypotheses]
-        rules += [(hyp.rhs, hyp.lhs, frozenset()) for hyp in self.hypotheses]
+        index = self._hypothesis_rules()
         for premise_lhs, premise_rhs in rule.premises:
             try:
                 left = instantiate(premise_lhs, subst, rule.variables)
                 right = instantiate(premise_rhs, subst, rule.variables)
             except KeyError:
                 return False
-            if left == right:
+            if left is right:
                 continue
-            if not reachable_by_rules(left, right, rules, max_depth=4):
+            if not reachable_by_rules(left, right, index, max_depth=4):
                 return False
         return True
 
@@ -327,21 +357,3 @@ def apply_conditional_law(
             )
     instance = rule.instance(subst)
     return Equation(instance.lhs, instance.rhs, name=name or rule.name)
-
-
-def _rewrite_with_substs(subject: FTerm, rule: Law, limit: int):
-    """Like :func:`rewrite_candidates` but also yields the substitution used."""
-    from repro.core.rewrite import _occurrences  # internal reuse
-
-    budget = limit
-    lhs_flat = flatten(rule.lhs)
-    for occurrence, rebuild in _occurrences(subject):
-        for subst in match(lhs_flat, occurrence, rule.variables):
-            budget -= 1
-            if budget < 0:
-                return
-            try:
-                replacement = instantiate(rule.rhs, subst, rule.variables)
-            except KeyError:
-                continue
-            yield rebuild(replacement), subst

@@ -104,6 +104,14 @@ FIGURE_2B_LAWS: Tuple[Law, ...] = (UNROLLING, SWAP_STAR, STAR_REWRITE)
 
 ALL_DERIVED_LAWS: Tuple[Law, ...] = FIGURE_2A_LAWS + (UNROLLING, STAR_ZERO)
 
+# Pre-compile both orientations of every derived law into the interned rule
+# cache (proof search tries laws in "auto" direction, so the reversed
+# patterns are needed just as often as the forward ones).
+for _theorem in FIGURE_2A_LAWS + FIGURE_2B_LAWS + (STAR_ZERO,):
+    _theorem.compiled()
+    _theorem.reversed().compiled()
+del _theorem
+
 
 def validate_by_decision_procedure() -> Dict[str, bool]:
     """Check every unconditional derived law with the decision procedure.

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.expr import Expr, Symbol
 from repro.core.order import Inequation
+from repro.core.rewrite import flatten, unflatten
 from repro.nkat.effects import Effect, lifted_predicate
 from repro.pathmodel.action import PathAction, action_leq
 from repro.programs.semantics import denotation
@@ -145,11 +146,14 @@ def _clip(matrix: np.ndarray, atol: float = 1e-9) -> np.ndarray:
 def encode_triple(program_expr: Expr, pre_neg: Symbol, post_neg: Symbol) -> Inequation:
     """The NKAT encoding ``p·b̄ ≤ ā`` of ``{A} P {B}`` (Section 7.3).
 
-    ``pre_neg``/``post_neg`` are the effect symbols for ``ā``/``b̄``.
+    ``pre_neg``/``post_neg`` are the effect symbols for ``ā``/``b̄``.  The
+    encoded left-hand side is round-tripped through the interned flattener,
+    so AC-equal program expressions (however they were associated) produce
+    the *same* hash-consed encoding — encodings are usable directly as memo
+    keys and deduplicate for free in rule indexes.
     """
-    return Inequation(
-        program_expr * post_neg, pre_neg, name=f"{{A}} {program_expr} {{B}}"
-    )
+    encoded = unflatten(flatten(program_expr * post_neg))
+    return Inequation(encoded, pre_neg, name=f"{{A}} {program_expr} {{B}}")
 
 
 def check_encoded_triple(

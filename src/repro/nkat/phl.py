@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.core.axioms import DISTRIB_RIGHT
 from repro.core.expr import Expr, ONE, Symbol, ZERO, sum_of
 from repro.core.order import CheckedOrderProof, Inequation, OrderProof
 from repro.core.proof import Equation
@@ -117,20 +118,25 @@ def derive_r_if(
     ]
     start = sum_of([m_i * p_i for m_i, p_i in zip(partition, programs)]) * post_neg
     proof = OrderProof(start, premises=premises, name="R.IF")
-    # Distribute (Σ m_i p_i)·b̄ = Σ m_i p_i b̄.
-    from repro.core.axioms import DISTRIB_RIGHT
-
-    distributed_terms: List[Expr] = [
-        m_i * p_i * post_neg for m_i, p_i in zip(partition, programs)
-    ]
-    current: Expr = start
+    # Distribute (Σ m_i p_i)·b̄ = Σ m_i p_i b̄, peeling one summand per step
+    # with the instantiation pinned explicitly — no position search needed.
+    guarded: List[Expr] = [m_i * p_i for m_i, p_i in zip(partition, programs)]
+    distributed_terms: List[Expr] = [g * post_neg for g in guarded]
     for split in range(1, len(distributed_terms)):
-        # Repeated right-distribution peels one summand per step.
-        peeled = sum_of(distributed_terms[:split + 1] if split + 1 == len(distributed_terms) else distributed_terms[:split] + [
-            sum_of([m_i * p_i for m_i, p_i in zip(partition[split:], programs[split:])]) * post_neg
-        ])
-        proof.eq_step(peeled, by=DISTRIB_RIGHT, note="distribute")
-        current = peeled
+        last = split + 1 == len(distributed_terms)
+        peeled = sum_of(
+            distributed_terms[:split + 1]
+            if last
+            else distributed_terms[:split] + [sum_of(guarded[split:]) * post_neg]
+        )
+        proof.eq_step(
+            peeled,
+            by=DISTRIB_RIGHT,
+            direction="lr",
+            subst={"p": guarded[split - 1], "q": sum_of(guarded[split:]),
+                   "r": post_neg},
+            note="distribute",
+        )
     # Apply each branch premise under m_i.
     transformed: List[Expr] = list(distributed_terms)
     for i, (m_i, a_i) in enumerate(zip(partition, pre_effects)):

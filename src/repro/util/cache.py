@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Optional
 
 __all__ = [
     "CacheStats",
@@ -24,6 +24,7 @@ __all__ = [
     "all_cache_stats",
     "clear_all_caches",
     "lookup_cache",
+    "register_stats_provider",
 ]
 
 
@@ -139,12 +140,38 @@ def lookup_cache(name: str) -> Optional[LRUCache]:
     return _REGISTRY.get(name)
 
 
+# Read-only stats providers for tables that are not LRU caches — e.g. the
+# weak hash-consing registries of repro.core.expr / repro.core.rewrite.
+# They appear in all_cache_stats() next to the bounded memos, but
+# clear_all_caches() leaves them alone: entries are weak (they vanish with
+# their last strong reference), and clearing an intern table would mint
+# fresh twins of still-live nodes and break the identity invariant every
+# downstream memo relies on.
+_STATS_PROVIDERS: "OrderedDict[str, Callable[[], CacheStats]]" = OrderedDict()
+
+
+def register_stats_provider(name: str, provider: Callable[[], CacheStats]) -> None:
+    """Expose an external (non-LRU) table's counters in :func:`all_cache_stats`."""
+    _STATS_PROVIDERS[name] = provider
+
+
 def all_cache_stats() -> Dict[str, CacheStats]:
-    """Snapshot of every registered pipeline cache, keyed by name."""
-    return {name: cache.stats() for name, cache in _REGISTRY.items()}
+    """Snapshot of every registered pipeline cache, keyed by name.
+
+    Includes the bounded LRU memos plus any registered read-only providers
+    (weak intern tables report ``maxsize=0`` — unbounded, never cleared).
+    """
+    stats = {name: cache.stats() for name, cache in _REGISTRY.items()}
+    for name, provider in _STATS_PROVIDERS.items():
+        stats[name] = provider()
+    return stats
 
 
 def clear_all_caches(reset_stats: bool = False) -> None:
-    """Empty every registered cache (safe at any point; purely a memo reset)."""
+    """Empty every registered LRU cache (safe at any point; purely a memo reset).
+
+    Weak intern tables registered via :func:`register_stats_provider` are
+    intentionally not touched — see the note above the provider registry.
+    """
     for cache in _REGISTRY.values():
         cache.clear(reset_stats=reset_stats)

@@ -81,6 +81,40 @@ def random_pairs(
     return pairs
 
 
+PATTERN_VARIABLES = ("p", "q")
+
+
+def random_pattern(
+    rng: random.Random,
+    letters: Sequence[str] = DEFAULT_LETTERS,
+    variables: Sequence[str] = PATTERN_VARIABLES,
+    depth: int = 2,
+    star_bias: float = 0.2,
+    variable_bias: float = 0.4,
+) -> Expr:
+    """A random rewrite pattern: an expression whose leaves may be metavariables.
+
+    Used by the AC-matching property tests — ``variables`` names the symbols
+    that the matcher should treat as metavariables (pass
+    ``frozenset(variables)`` alongside the pattern).
+    """
+    if depth <= 0 or rng.random() < 0.35:
+        roll = rng.random()
+        if roll < variable_bias:
+            return Symbol(rng.choice(list(variables)))
+        if roll < variable_bias + 0.05:
+            return ONE
+        return Symbol(rng.choice(list(letters)))
+    roll = rng.random()
+    if roll < star_bias:
+        return Star(random_pattern(rng, letters, variables, depth - 1, star_bias, variable_bias))
+    left = random_pattern(rng, letters, variables, depth - 1, star_bias, variable_bias)
+    right = random_pattern(rng, letters, variables, depth - 1, star_bias, variable_bias)
+    if roll < star_bias + (1.0 - star_bias) / 2:
+        return Sum(left, right)
+    return Product(left, right)
+
+
 def rebuild(expr: Expr) -> Expr:
     """Reconstruct ``expr`` bottom-up through the public constructors.
 

@@ -1,0 +1,265 @@
+"""Property and golden tests for the interned AC rewrite engine.
+
+Three layers of protection around the PR-3 refactor (interned ``FTerm``
+core + indexed rewriting):
+
+* **AC-matching invariants** on the seeded :mod:`tests.gen` generators —
+  every substitution produced by :func:`match` reproduces the subject when
+  instantiated, interning preserves :func:`ac_equivalent`, and the head
+  shape computed by :func:`compile_rule` never rejects a matchable subject;
+* **golden equivalence** with the pre-refactor engine —
+  ``tests/fixtures/rewrite_golden.json`` stores the exact result sets of
+  :func:`rewrite_candidates` and the verdicts of :func:`reachable_by_rules`
+  produced by the PR-2 engine on a seeded corpus, and
+  ``tests/fixtures/sec6_transcript.txt`` the byte-exact Section 6 proof
+  transcript;
+* **regressions** — candidate streams are duplicate-free by interned node
+  identity, and the weak intern tables survive ``clear_caches`` without
+  breaking pointer equality.
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from gen import PATTERN_VARIABLES, random_exprs, random_pattern, rebuild
+from repro.core.decision import cache_stats, clear_caches
+from repro.core.expr import Symbol, alphabet
+from repro.core.parser import parse
+from repro.core.rewrite import (
+    FSum,
+    RuleIndex,
+    ac_equivalent,
+    compile_rule,
+    flatten,
+    instantiate,
+    make_prod,
+    make_sum,
+    match,
+    match_all,
+    reachable_by_rules,
+    rewrite_candidates,
+    rewrite_with_substitutions,
+    unflatten,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _load_golden():
+    with open(FIXTURES / "rewrite_golden.json", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestInterning:
+    def test_flatten_is_interned(self):
+        for expr in random_exprs(seed=3001, count=120, depth=4):
+            assert flatten(expr) is flatten(rebuild(expr))
+
+    def test_interning_preserves_ac_equivalence(self):
+        exprs = random_exprs(seed=3003, count=60, depth=3)
+        for left in exprs[:30]:
+            for right in exprs[30:]:
+                assert ac_equivalent(left, right) == (flatten(left) is flatten(right))
+
+    def test_smart_constructors_canonicalise_through_intern_tables(self):
+        rng = random.Random(3005)
+        for expr in random_exprs(seed=3007, count=50, depth=3):
+            term = flatten(expr)
+            if isinstance(term, FSum):
+                shuffled = list(term.args)
+                rng.shuffle(shuffled)
+                assert make_sum(shuffled) is term
+                assert make_prod([term]) is term
+
+    def test_sort_key_is_precomputed_and_stable(self):
+        for expr in random_exprs(seed=3009, count=40, depth=3):
+            term = flatten(expr)
+            assert term.sort_key() is term.sort_key()
+
+    def test_intern_tables_survive_cache_clears(self):
+        exprs = random_exprs(seed=3011, count=40, depth=4)
+        before = [flatten(e) for e in exprs]
+        clear_caches()
+        assert all(flatten(e) is t for e, t in zip(exprs, before))
+
+    def test_intern_and_engine_caches_are_reported(self):
+        flatten(parse("a b + c*"))
+        stats = cache_stats()
+        for name in ("rewrite.flatten", "rewrite.match", "rewrite.rules",
+                     "rewrite.interned"):
+            assert name in stats
+        assert stats["rewrite.interned"].currsize > 0
+
+
+class TestMatchingInvariants:
+    def test_match_substitutions_reproduce_subject(self):
+        rng = random.Random(4001)
+        variables = frozenset(PATTERN_VARIABLES)
+        checked = 0
+        for _ in range(300):
+            pattern = random_pattern(rng, depth=2)
+            subject = flatten(random_pattern(rng, depth=3, variable_bias=0.0))
+            for subst in match(flatten(pattern), subject, variables):
+                assert instantiate(pattern, subst, variables) is subject
+                checked += 1
+        assert checked > 50  # the corpus must actually exercise the matcher
+
+    def test_repeated_variable_across_sum_elements_stays_consistent(self):
+        # Pre-refactor bug: matching ``q + p q`` bound q while matching the
+        # product element, then the distribution phase overwrote q with the
+        # leftover summands, yielding substitutions that do not reproduce
+        # the subject.
+        variables = frozenset(["p", "q"])
+        pattern = parse("q + p q")
+        good = list(match(flatten(pattern), flatten(parse("c + b c")), variables))
+        assert good == [{"p": flatten(parse("b")), "q": flatten(parse("c"))}]
+        bad = list(match(flatten(pattern), flatten(parse("a + b c")), variables))
+        assert bad == []
+
+    def test_match_all_agrees_with_match(self):
+        rng = random.Random(4003)
+        variables = frozenset(PATTERN_VARIABLES)
+        for _ in range(100):
+            pattern = flatten(random_pattern(rng, depth=2))
+            subject = flatten(random_pattern(rng, depth=3, variable_bias=0.0))
+            eager = match_all(pattern, subject, variables)
+            lazy = list(match(pattern, subject, variables))
+            assert list(eager) == lazy
+
+    def test_head_shape_never_rejects_a_matchable_subject(self):
+        rng = random.Random(4005)
+        variables = frozenset(PATTERN_VARIABLES)
+        for _ in range(200):
+            pattern_expr = random_pattern(rng, depth=2)
+            subject = flatten(random_pattern(rng, depth=3, variable_bias=0.0))
+            rule = compile_rule(pattern_expr, pattern_expr, variables)
+            if match_all(rule.pattern, subject, variables):
+                assert rule.admits(subject)
+
+    def test_rule_index_covers_every_matching_rule(self):
+        golden = _load_golden()
+        rules = [
+            (parse(lhs), parse(rhs), frozenset(variables.split()))
+            for lhs, rhs, variables in golden["rules"]
+        ]
+        index = RuleIndex(rules)
+        compiled = {id(r): r for r in index.rules}
+        for expr in random_exprs(seed=4007, count=30, depth=3):
+            subject = flatten(expr)
+            admitted = {id(r) for r in index.candidates_for(subject)}
+            for rule in compiled.values():
+                if match_all(rule.pattern, subject, rule.variables):
+                    assert id(rule) in admitted
+
+
+class TestHypothesisRuleIndex:
+    def test_rule_index_is_cached_and_invalidated_on_growth(self):
+        from repro.core.hypotheses import commuting
+
+        hypotheses = commuting([Symbol("a")], [Symbol("b")])
+        index = hypotheses.rule_index()
+        assert hypotheses.rule_index() is index
+        assert len(index) == len(hypotheses.rules()) == 2 * len(hypotheses)
+        hypotheses.add(parse("a a"), parse("a"), "proj")
+        rebuilt = hypotheses.rule_index()
+        assert rebuilt is not index
+        assert len(rebuilt) == 2 * len(hypotheses)
+
+    def test_proof_shares_the_hypothesis_set_index(self):
+        from repro.core.hypotheses import commuting
+        from repro.core.proof import Proof
+        from repro.core.theorems import SWAP_STAR
+
+        a, b = Symbol("a"), Symbol("b")
+        hypotheses = commuting([a], [b])
+        proof = Proof(a.star() * b, hypotheses=hypotheses, name="swap")
+        proof.step(b * a.star(), by=SWAP_STAR, subst={"p": a, "q": b})
+        assert proof.qed(b * a.star()).conclusion.rhs == b * a.star()
+        assert proof._hypothesis_rules() is hypotheses.rule_index()
+        # ...unless the set grows after the proof captured its snapshot.
+        hypotheses.add(parse("a a"), parse("a"), "proj")
+        assert proof._hypothesis_rules() is not hypotheses.rule_index()
+
+
+class TestGoldenEquivalence:
+    """The indexed engine reproduces the PR-2 engine's observable behaviour."""
+
+    def test_rewrite_candidates_match_pre_refactor_result_sets(self):
+        golden = _load_golden()
+        subjects = random_exprs(seed=golden["seed"], count=len(golden["corpus"]),
+                                letters=("a", "b", "c"), depth=3, star_bias=0.3)
+        for expr, entry in zip(subjects, golden["corpus"]):
+            subject = flatten(expr)
+            assert str(subject) == entry["subject"]
+            for lhs, rhs, variables in golden["rules"]:
+                results = rewrite_candidates(
+                    subject, parse(lhs), parse(rhs),
+                    frozenset(variables.split()), limit=2000,
+                )
+                assert sorted(str(t) for t in results) == \
+                    entry["results"][f"{lhs} -> {rhs}"]
+
+    def test_reachable_by_rules_matches_pre_refactor_verdicts(self):
+        golden = _load_golden()
+        rules = [
+            (parse(lhs), parse(rhs), frozenset(variables.split()))
+            for lhs, rhs, variables in golden["reachability_rules"]
+        ]
+        index = RuleIndex(rules)
+        for case in golden["reachability_cases"]:
+            start = flatten(parse(case["start"]))
+            goal = flatten(parse(case["goal"]))
+            assert reachable_by_rules(
+                start, goal, index, max_depth=3, max_breadth=500
+            ) == case["reachable"]
+
+    def test_section6_transcript_byte_identical(self):
+        from repro.applications.normal_form import prove_section6_example
+
+        proof, _hyps = prove_section6_example()
+        golden = (FIXTURES / "sec6_transcript.txt").read_text(encoding="utf-8")
+        assert proof.transcript() + "\n" == golden
+
+
+class TestCandidateUniqueness:
+    """Regression: no duplicate emission through different occurrence slices."""
+
+    def test_rewrite_candidates_are_unique_by_identity(self):
+        golden = _load_golden()
+        subjects = random_exprs(seed=5001, count=40, letters=("a", "b", "c"),
+                                depth=3, star_bias=0.3)
+        for expr in subjects:
+            subject = flatten(expr)
+            for lhs, rhs, variables in golden["rules"]:
+                results = list(rewrite_candidates(
+                    subject, parse(lhs), parse(rhs),
+                    frozenset(variables.split()), limit=2000,
+                ))
+                assert len(results) == len({id(r) for r in results})
+
+    def test_slice_duplicates_collapse(self):
+        # a a a rewritten by a a -> a through either slice gives a a once.
+        subject = flatten(parse("a a a"))
+        results = list(rewrite_candidates(
+            subject, parse("a a"), parse("a"), frozenset()
+        ))
+        assert results == [flatten(parse("a a"))]
+
+    def test_with_substitutions_dedupes_result_binding_pairs(self):
+        subject = flatten(parse("a b a b"))
+        pairs = list(rewrite_with_substitutions(
+            subject, parse("p p"), parse("p"), frozenset(["p"])
+        ))
+        keys = [(id(result), frozenset(subst.items())) for result, subst in pairs]
+        assert len(keys) == len(set(keys))
+        assert flatten(parse("a b")) in [result for result, _ in pairs]
+
+
+class TestUnflattenRoundTrip:
+    def test_unflatten_preserves_interned_identity(self):
+        for expr in random_exprs(seed=6001, count=80, depth=4):
+            term = flatten(expr)
+            assert flatten(unflatten(term)) is term
