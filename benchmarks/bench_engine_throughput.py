@@ -1,0 +1,405 @@
+"""ENGINE — batched decision throughput: planner + workers + warm start.
+
+The ROADMAP north-star is a serving system: many related equality queries
+arriving in batches, answered from warm caches where possible.  This bench
+measures the three levers the engine subsystem adds over the PR 3 sequential
+batch API:
+
+* **planning** — dedupe by interned identity, per-pair alphabets (the PR 3
+  path compiled everything over the whole batch's *union* alphabet, so
+  every Tzeng advance paid for letters the pair never mentions), and
+  cheapest-first ordering;
+* **parallel execution** — independent planned queries on process workers;
+* **warm start** — a fresh engine loaded from a persisted warm state must
+  answer the whole batch with *zero* compilations.
+
+The baseline below is a faithful reimplementation of the PR 3 sequential
+``nka_equal_many``: union-alphabet compilation + the dense-iteration Tzeng
+loop it shipped with (kept verbatim here the way ``repro.linalg.dense``
+keeps the dense kernels) — so the measured gap is the engine's, not an
+artifact of unrelated pipeline improvements.  Verdict booleans are asserted
+identical between baseline and every engine configuration.
+
+Run directly for a JSON report (CI uploads it and gates on the 2-worker
+sweep beating the baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
+        --pairs 240 --workers 1 2 4 --json BENCH_engine.json --check
+"""
+
+import argparse
+import json
+import random
+import sys
+import time
+
+import pytest
+
+try:
+    from benchmarks.conftest import report
+except ModuleNotFoundError:  # invoked as a script
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tests"))
+    from benchmarks.conftest import report
+
+try:
+    from gen import random_pairs
+except ModuleNotFoundError:
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tests"))
+    from gen import random_pairs
+
+from functools import reduce
+
+from repro.automata.equivalence import EquivalenceResult, wfa_equivalent
+from repro.automata.wfa import expr_to_wfa
+from repro.core.decision import clear_caches
+from repro.core.expr import Product, Star, Sum, alphabet, product_factors
+from repro.engine import NKAEngine
+from repro.linalg import RowSpace, dot, reachable
+
+
+# -- the PR 3 sequential baseline (union alphabet + dense-iteration Tzeng) ------
+
+
+def _pr3_reachable_count(wfa) -> int:
+    seeds = (i for i, w in enumerate(wfa.initial) if not w.is_zero)
+    return len(reachable(wfa._support_adjacency(), seeds))
+
+
+def _pr3_vector_matrix(vector, offset, wfa, letter):
+    n = wfa.num_states
+    result = [0] * n
+    matrix = wfa.matrices.get(letter)
+    if matrix is None:
+        return result
+    rows = matrix.rows
+    for i in range(n):
+        value = vector[offset + i]
+        if not value:
+            continue
+        row = rows.get(i)
+        if row is None:
+            continue
+        for j, weight in row.items():
+            result[j] += value * weight.finite_value
+    return result
+
+
+def _pr3_tzeng(left, right) -> EquivalenceResult:
+    """The PR 3 joint-basis loop: dense per-state iteration, no letter masks."""
+    dim = left.num_states + right.num_states
+    final_functional = tuple(
+        [w.finite_value for w in left.final] + [-w.finite_value for w in right.final]
+    )
+    start = tuple(
+        [w.finite_value for w in left.initial] + [w.finite_value for w in right.initial]
+    )
+    letters = sorted(left.alphabet | right.alphabet)
+    bound = _pr3_reachable_count(left) + _pr3_reachable_count(right)
+    basis = RowSpace(dim)
+    queue = []
+    if basis.insert(start):
+        queue.append((start, ()))
+    while queue:
+        vector, word = queue.pop(0)
+        if dot(vector, final_functional) != 0:
+            return EquivalenceResult(
+                equal=False, counterexample=word,
+                reason=f"finite coefficients differ on word {' '.join(word) or 'ε'}",
+            )
+        if basis.rank >= bound:
+            continue
+        n_left = left.num_states
+        for letter in letters:
+            successor = tuple(
+                _pr3_vector_matrix(vector, 0, left, letter)
+                + _pr3_vector_matrix(vector, n_left, right, letter)
+            )
+            if basis.insert(successor):
+                queue.append((successor, word + (letter,)))
+    return EquivalenceResult(equal=True, counterexample=None, reason="Tzeng basis exhausted")
+
+
+def _pr3_wfa_equal(left, right) -> bool:
+    """Baseline equality: the all-finite fast path straight into PR 3 Tzeng.
+
+    The generated workload carries no ∞ weights (checked below), so this is
+    exactly the path the PR 3 pipeline took on it; ∞-carrying pairs would
+    fall back to the current staged procedure for both contenders alike.
+    """
+    def has_inf(wfa):
+        return (
+            any(w.is_infinite for w in wfa.initial)
+            or any(w.is_infinite for w in wfa.final)
+            or any(
+                w.is_infinite
+                for m in wfa.matrices.values()
+                for _i, _j, w in m.entries()
+            )
+        )
+
+    if has_inf(left) or has_inf(right):
+        return wfa_equivalent(left, right).equal
+    return _pr3_tzeng(left, right).equal
+
+
+def pr3_sequential_many(pairs):
+    """PR 3 ``nka_equal_many``: one union alphabet, per-batch dict caches."""
+    sigma = frozenset()
+    for left, right in pairs:
+        sigma = sigma | alphabet(left) | alphabet(right)
+    compiled = {}
+    verdicts = {}
+    answers = []
+    for left, right in pairs:
+        if left is right:
+            answers.append(True)
+            continue
+        key = (left, right)
+        if key in verdicts or (right, left) in verdicts:
+            answers.append(verdicts.get(key, verdicts.get((right, left))))
+            continue
+        for expr in (left, right):
+            if expr not in compiled:
+                compiled[expr] = expr_to_wfa(expr, extra_alphabet=sigma)
+        verdict = _pr3_wfa_equal(compiled[left], compiled[right])
+        verdicts[key] = verdict
+        answers.append(verdict)
+    return answers
+
+
+# -- workload -------------------------------------------------------------------
+
+
+ALPHABET_GROUPS = (("a", "b"), ("c", "d"), ("e", "f"), ("g", "h"))
+
+
+def _ac_variant(expr):
+    """A derivable-but-distinct twin: commute sums, right-associate products.
+
+    Real serving traffic (axiom sweeps, normal-form checks) is full of
+    *derivable* equalities whose sides differ as binary trees; these force
+    Tzeng to run to basis exhaustion — the expensive ``True`` case the
+    counterexample-heavy random pairs under-represent.
+    """
+    if isinstance(expr, Sum):
+        return Sum(_ac_variant(expr.right), _ac_variant(expr.left))
+    if isinstance(expr, Product):
+        factors = [_ac_variant(f) for f in product_factors(expr)]
+        if len(factors) == 1:
+            return factors[0]
+        return reduce(
+            lambda acc, factor: Product(factor, acc), reversed(factors[:-1]), factors[-1]
+        )
+    if isinstance(expr, Star):
+        return Star(_ac_variant(expr.body))
+    return expr
+
+
+def mixed_batch(total_pairs: int, seed: int = 2024):
+    """A serving-shaped batch: alphabet groups, shared subterms, duplicates.
+
+    Per group: seeded random pairs (small symbol pools ⇒ heavy subterm
+    sharing) plus derivable AC-variant pairs; the groups are interleaved
+    and ~20% of positions are resampled duplicates — some flipped — of
+    earlier ones: the dedupe fodder real traffic carries.
+    """
+    per_group = max(2, total_pairs // len(ALPHABET_GROUPS))
+    random_count = max(1, (per_group * 3) // 4)
+    pool = []
+    for index, letters in enumerate(ALPHABET_GROUPS):
+        group = random_pairs(
+            seed=seed + index, count=random_count, letters=letters,
+            depth=7, equal_fraction=0.1, star_bias=0.3,
+        )
+        pool.extend(group)
+        pool.extend(
+            (left, _ac_variant(left))
+            for left, _right in group[: per_group - random_count]
+        )
+    rng = random.Random(seed)
+    rng.shuffle(pool)
+    batch = list(pool[:total_pairs])
+    duplicates = max(1, len(batch) // 5)
+    for _ in range(duplicates):
+        left, right = batch[rng.randrange(len(batch))]
+        if rng.random() < 0.5:
+            left, right = right, left  # symmetric flips dedupe too
+        batch.append((left, right))
+    return batch
+
+
+def _cold() -> None:
+    """Forget every derived artefact (global memos + default session)."""
+    clear_caches()
+
+
+def run_suite(total_pairs, workers_sweep, json_path=None, check=False, rounds=3):
+    batch = mixed_batch(total_pairs)
+    results = {
+        "pairs": len(batch),
+        "alphabet_groups": len(ALPHABET_GROUPS),
+        "rounds": rounds,
+        "configs": {},
+    }
+
+    # Every timing below is best-of-``rounds`` with a cold cache each round:
+    # the contenders run interleaved over seconds of wall-clock, so a load
+    # spike hitting one single-shot measurement cannot decide the gate.
+    baseline_seconds = float("inf")
+    baseline = None
+    for _ in range(rounds):
+        _cold()
+        started = time.perf_counter()
+        baseline = pr3_sequential_many(batch)
+        baseline_seconds = min(baseline_seconds, time.perf_counter() - started)
+    results["configs"]["pr3_sequential"] = {"seconds": round(baseline_seconds, 4)}
+
+    verdicts_by_config = {}
+    warm_source = None
+    for workers in workers_sweep:
+        best_seconds = float("inf")
+        engine = verdicts = None
+        for _ in range(rounds):
+            _cold()
+            candidate = NKAEngine(f"bench-w{workers}")
+            started = time.perf_counter()
+            candidate_verdicts = candidate.equal_many(batch, workers=workers)
+            seconds = time.perf_counter() - started
+            if seconds < best_seconds:
+                best_seconds, engine, verdicts = seconds, candidate, candidate_verdicts
+        stats = engine.stats()
+        results["configs"][f"engine_cold_w{workers}"] = {
+            "seconds": round(best_seconds, 4),
+            "speedup_vs_pr3": round(baseline_seconds / best_seconds, 2),
+            "planner": stats["planner"],
+            "executor": stats["last_batch"]["executor"],
+            "compilations": stats["compilations"],
+        }
+        verdicts_by_config[f"w{workers}"] = verdicts
+        if warm_source is None:
+            warm_source = engine
+
+    # Warm start: persist the first engine's caches, reload into a fresh
+    # session, answer the whole batch again.
+    import tempfile, os
+
+    state_path = tempfile.mktemp(suffix=".nka-warm")
+    warm_source.save_warm_state(state_path)
+    warm_seconds = float("inf")
+    warmed = warm_verdicts = None
+    for _ in range(rounds):
+        candidate = NKAEngine("bench-warm", warm_state=state_path)
+        started = time.perf_counter()
+        candidate_verdicts = candidate.equal_many(batch)
+        seconds = time.perf_counter() - started
+        if seconds < warm_seconds:
+            warm_seconds, warmed, warm_verdicts = seconds, candidate, candidate_verdicts
+    warm_stats = warmed.stats()
+    results["configs"]["engine_warm_reload"] = {
+        "seconds": round(warm_seconds, 4),
+        "speedup_vs_pr3": round(baseline_seconds / warm_seconds, 2),
+        "compilations": warm_stats["compilations"],
+        "planner": warm_stats["planner"],
+        "state_bytes": os.path.getsize(state_path),
+    }
+    verdicts_by_config["warm"] = warm_verdicts
+    os.unlink(state_path)
+
+    for label, verdicts in verdicts_by_config.items():
+        assert verdicts == baseline, f"verdict divergence in config {label}"
+    results["verdicts_identical"] = True
+
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+
+    if check:
+        two_worker = results["configs"].get("engine_cold_w2")
+        assert two_worker is not None, "--check needs workers sweep to include 2"
+        if two_worker["executor"]["mode"] == "process":
+            # Real cores available: parallel must beat the sequential
+            # baseline outright.
+            assert two_worker["seconds"] <= baseline_seconds, (
+                "parallel batch throughput fell below the sequential baseline: "
+                f"{two_worker['seconds']:.3f}s vs {baseline_seconds:.3f}s"
+            )
+        else:
+            # Single-core box: the executor rightly degraded to in-process
+            # execution, so "parallel" can only tie the sequential engine —
+            # require it within a 10% noise band of the baseline.
+            assert two_worker["seconds"] <= baseline_seconds * 1.10, (
+                "degraded (single-core) engine batch fell >10% behind the "
+                f"baseline: {two_worker['seconds']:.3f}s vs {baseline_seconds:.3f}s"
+            )
+        assert results["configs"]["engine_warm_reload"]["compilations"] == 0, (
+            "warm-state reload compiled automata"
+        )
+    return results
+
+
+# -- pytest entry points (smoke-sized; CI runs the CLI for the full sweep) -------
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    return run_suite(total_pairs=80, workers_sweep=[1, 2])
+
+
+def test_engine_verdicts_match_pr3_baseline(small_suite):
+    assert small_suite["verdicts_identical"]
+    report(
+        "ENGINE/verdicts",
+        "batch planning/parallelism must not change answers",
+        f"{small_suite['pairs']} mixed pairs identical across all configs",
+    )
+
+
+def test_engine_cold_not_slower_than_pr3(small_suite):
+    cold = small_suite["configs"]["engine_cold_w1"]
+    # Smoke-sized batches finish in ~0.2 s, where timer noise swamps the
+    # planner's margin — allow 15% here; the CI sweep (--check, 240+ pairs)
+    # holds the strict ≥-baseline gate.
+    assert cold["speedup_vs_pr3"] >= 0.85, cold
+    report(
+        "ENGINE/planner",
+        "per-pair alphabets + dedupe beat union-alphabet sequential",
+        f"cold 1-worker speedup {cold['speedup_vs_pr3']}× vs PR 3 baseline",
+    )
+
+
+def test_engine_warm_reload_zero_compilations(small_suite):
+    warm = small_suite["configs"]["engine_warm_reload"]
+    assert warm["compilations"] == 0
+    assert warm["planner"]["tasks"] == 0
+    report(
+        "ENGINE/warm-start",
+        "persisted state answers a known batch with zero compilations",
+        f"warm reload {warm['seconds']}s, speedup {warm['speedup_vs_pr3']}×",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pairs", type=int, default=240)
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--json", type=str, default=None)
+    parser.add_argument("--check", action="store_true",
+                        help="assert 2-worker ≥ sequential and warm=0 compiles")
+    args = parser.parse_args(argv)
+    results = run_suite(
+        total_pairs=args.pairs,
+        workers_sweep=args.workers,
+        json_path=args.json,
+        check=args.check,
+    )
+    print(json.dumps(results, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""Serving NKA decisions at scale: the engine subsystem walkthrough.
+
+Run: ``PYTHONPATH=src python examples/engine_serving.py``
+
+A production verifier answers *streams* of equality queries — axiom sweeps,
+normal-form checks, compiler-rule validation — not one-off calls.  This
+example walks the three levers :class:`repro.engine.NKAEngine` adds:
+
+1. **isolated sessions** — per-tenant caches in one process;
+2. **batch planning + workers** — dedupe, cheapest-first ordering, process
+   parallelism, all without changing a single verdict;
+3. **persistent warm start** — serialize the caches, reload in a fresh
+   session (or a fresh process) and answer a known workload with zero
+   compilations.
+"""
+
+import os
+import random
+import tempfile
+import time
+
+from repro import NKAEngine, parse
+from repro.core.expr import Expr, Product, Star, Sum, Symbol
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def random_expr(rng: random.Random, letters, depth: int) -> Expr:
+    if depth == 0 or rng.random() < 0.3:
+        return Symbol(rng.choice(letters))
+    roll = rng.random()
+    if roll < 0.25:
+        return Star(random_expr(rng, letters, depth - 1))
+    build = Sum if roll < 0.6 else Product
+    return build(
+        random_expr(rng, letters, depth - 1), random_expr(rng, letters, depth - 1)
+    )
+
+
+def make_workload(count: int = 150, seed: int = 11):
+    """A mixed batch with duplicates and shared subterms, like real traffic."""
+    rng = random.Random(seed)
+    pool = [random_expr(rng, ["a", "b", "c"], 4) for _ in range(count // 3)]
+    batch = []
+    for _ in range(count):
+        left, right = rng.choice(pool), rng.choice(pool)
+        batch.append((left, right))
+    return batch
+
+
+def main() -> None:
+    section("1. Isolated sessions")
+    tenant_a = NKAEngine("tenant-a")
+    tenant_b = NKAEngine("tenant-b", wfa_capacity=256, result_capacity=256)
+    left, right = parse("(a b)* a"), parse("a (b a)*")
+    print(f"  tenant-a decides: {tenant_a.equal(left, right)}")
+    print(f"  tenant-a decisions: {tenant_a.stats()['decisions']}, "
+          f"tenant-b decisions: {tenant_b.stats()['decisions']} (isolated)")
+
+    section("2. Batch planning and parallel execution")
+    batch = make_workload()
+    engine = NKAEngine("serving", workers=4)
+    started = time.perf_counter()
+    verdicts = engine.equal_many(batch)          # planned + executed
+    elapsed = time.perf_counter() - started
+    stats = engine.stats()
+    planner = stats["planner"]
+    print(f"  {len(batch)} queries answered in {elapsed * 1000:.1f} ms "
+          f"({sum(verdicts)} equal)")
+    print(f"  planner: {planner['tasks']} tasks after dedupe "
+          f"(ratio {planner['dedupe_ratio']:.0%}: {planner['pointer_equal']} "
+          f"pointer-equal, {planner['duplicates']} duplicates, "
+          f"{planner['verdict_cache_hits']} cache hits)")
+    print(f"  executor: {stats['last_batch']['executor']}")
+
+    # Re-asking the same batch is pure cache traffic — zero new tasks.
+    engine.equal_many(batch)
+    print(f"  re-ask: {engine.stats()['last_batch']['planner']['tasks']} tasks "
+          f"(everything answered from the verdict cache)")
+
+    section("3. Warm start across sessions/processes")
+    state_path = os.path.join(tempfile.gettempdir(), "nka-warm-example.pickle")
+    engine.save_warm_state(state_path)
+    print(f"  saved {os.path.getsize(state_path)} bytes of warm state")
+
+    fresh = NKAEngine("fresh-replica", warm_state=state_path)
+    started = time.perf_counter()
+    warm_verdicts = fresh.equal_many(batch)
+    elapsed = time.perf_counter() - started
+    print(f"  fresh replica answered the batch in {elapsed * 1000:.2f} ms with "
+          f"{fresh.stats()['compilations']} compilations")
+    assert warm_verdicts == verdicts
+
+    # Stale states are rejected cleanly — serving wrappers fall back cold:
+    from repro.engine import StaleWarmStateError, load_warm_state, save_warm_state
+
+    state = load_warm_state(state_path)
+    state.fingerprint = "0" * 64
+    save_warm_state(state, state_path)
+    try:
+        NKAEngine("doomed", warm_state=state_path)
+    except StaleWarmStateError as error:
+        print(f"  stale state rejected: {str(error)[:68]}…")
+    survivor = NKAEngine("survivor", warm_state=state_path, strict_warm_state=False)
+    print(f"  lax mode starts cold instead: "
+          f"{survivor.stats()['warm_start']['verdicts_loaded']} verdicts loaded")
+    os.unlink(state_path)
+
+    print("\n  Full metrics are one call away (engine.stats_json()):")
+    for line in fresh.stats_json().splitlines()[:12]:
+        print(f"    {line}")
+    print("    …")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,9 @@ Programs via Non-idempotent Kleene Algebra* (PLDI 2022):
 * :mod:`repro.core` — NKA expressions, axioms (Fig. 3), derived theorems
   (Fig. 2), an equational proof engine, and a sound-and-complete decision
   procedure for ``⊢NKA e = f`` (Theorem A.6 / Remark 2.1);
+* :mod:`repro.engine` — session-scoped decision engines
+  (:class:`~repro.engine.NKAEngine`): isolated caches, batch query
+  planning, parallel execution, persistent warm start, metrics;
 * :mod:`repro.series` — formal & rational power series over ``N̄``;
 * :mod:`repro.linalg` — semiring-generic sparse linear algebra (the
   backend every matrix/vector computation in the pipeline compiles to);
@@ -26,6 +29,13 @@ Quickstart::
     from repro import parse, nka_equal
     nka_equal(parse("(a b)* a"), parse("a (b a)*"))   # True — sliding
     nka_equal(parse("a + a"), parse("a"))             # False — no idempotency
+
+Serving / batch workloads::
+
+    from repro import NKAEngine
+    engine = NKAEngine("session", workers=4)
+    engine.equal_many(pairs)                  # planned, deduped, parallel
+    engine.save_warm_state("warm.pickle")     # cross-process warm start
 """
 
 from repro.core import (
@@ -49,6 +59,7 @@ from repro.core import (
     sym,
     symbols,
 )
+from repro.engine import NKAEngine, default_engine
 
 __version__ = "1.0.0"
 
@@ -67,6 +78,8 @@ __all__ = [
     "nka_leq_refute",
     "coefficient",
     "ac_equivalent",
+    "NKAEngine",
+    "default_engine",
     "Proof",
     "CheckedProof",
     "Law",

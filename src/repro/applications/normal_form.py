@@ -28,8 +28,13 @@ This module is the hottest caller of the equational pipeline: the Section 6
 replay flattens the same guard expressions thousands of times, which is why
 ``flatten`` is memoized on hash-consed nodes *and* flattened terms are
 themselves interned (see :mod:`repro.core.rewrite`) — every guard-algebra
-hypothesis applies by pointer-identity occurrence scan — and why batched
-checks should prefer :func:`repro.core.decision.nka_equal_many`.
+hypothesis applies by pointer-identity occurrence scan, over position
+skeletons that are themselves memoized per interned subject
+(``rewrite.occurrences``).  Batched checks should prefer the engine's
+planner (:meth:`repro.engine.NKAEngine.equal_many`, or its façade
+:func:`repro.core.decision.nka_equal_many`): normal-form verification asks
+many related questions over shared guard subterms, exactly the shape the
+planner dedupes and the parallel executor fans out.
 """
 
 from __future__ import annotations

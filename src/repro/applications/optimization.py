@@ -63,6 +63,7 @@ __all__ = [
     "prove_loop_unrolling",
     "prove_loop_boundary",
     "verify_rule",
+    "verify_rules",
     "default_unrolling_instance",
     "default_boundary_instance",
 ]
@@ -346,4 +347,36 @@ def verify_rule(rule: OptimizationRule, check_semantics: bool = True) -> Equival
     setting = EncoderSetting(rule.space)
     return verify_with_proof(
         rule.proof, rule.before, rule.after, setting, check_semantics=check_semantics
+    )
+
+
+def verify_rules(
+    rules: Tuple[OptimizationRule, ...],
+    check_semantics: bool = True,
+    engine=None,
+    precompile_encodings: bool = False,
+) -> Tuple[EquivalenceReport, ...]:
+    """Verify a whole rule catalogue; optionally warm a decision session.
+
+    Rule verification itself is proof replay + hypothesis validation
+    (:func:`verify_rule`) — it asks the decision engine nothing.  What a
+    serving integration *does* follow it with is decision queries over the
+    same encodings (cross-checks, refutation probes, user traffic), so
+    ``precompile_encodings=True`` compiles each rule's two encodings into
+    ``engine``'s cache (the process default when omitted) while the
+    catalogue is validated, and a later
+    :meth:`~repro.engine.NKAEngine.save_warm_state` captures them for the
+    next process.  Leave it off when no such follow-up traffic exists —
+    the compilation is real up-front work.
+    """
+    if precompile_encodings:
+        from repro.engine import default_engine
+
+        session = engine if engine is not None else default_engine()
+        for rule in rules:
+            setting = EncoderSetting(rule.space)
+            session.compile(encode(rule.before, setting))
+            session.compile(encode(rule.after, setting))
+    return tuple(
+        verify_rule(rule, check_semantics=check_semantics) for rule in rules
     )

@@ -72,17 +72,60 @@ def _finite_weight_to_int(weight) -> int:
     return weight.finite_value
 
 
-def _reachable_state_count(wfa: WFA) -> int:
-    """States reachable from the non-zero initial support via non-zero rows.
+class _TzengSide:
+    """One automaton projected onto its reachable coordinates.
 
-    Every joint vector Tzeng generates is supported on these coordinates, so
-    their count bounds the dimension of the explored vector space — usually
-    far below ``num_states`` for automata with unreachable or dead regions.
-    Reuses the same support-adjacency + Boolean reachability that
-    :meth:`repro.automata.wfa.WFA.trim` runs on.
+    Every joint vector Tzeng generates is supported on the states reachable
+    from the non-zero initial support via non-zero rows, so the joint space
+    can be built directly in those coordinates: the vector *dimension*
+    shrinks from ``num_states`` to the reachable count (often far below for
+    automata with unreachable or dead regions), which cuts the cost of
+    every :class:`repro.linalg.RowSpace` reduction.
+
+    On top of the projection, each letter carries a **reachable-state
+    mask**: a compressed sparse table holding only the (projected) source
+    states that actually have outgoing rows for that letter.  Advancing a
+    vector by a letter then walks exactly those sources — states without
+    that letter, and letters absent from the automaton altogether (common
+    when the two sides have different alphabets), cost nothing instead of
+    an ``O(num_states)`` scan.
     """
-    seeds = (i for i, weight in enumerate(wfa.initial) if not weight.is_zero)
-    return len(reachable(wfa._support_adjacency(), seeds))
+
+    __slots__ = ("dim", "initial", "final", "tables")
+
+    def __init__(self, wfa: WFA, letters: Sequence[str]):
+        seeds = (i for i, w in enumerate(wfa.initial) if not w.is_zero)
+        kept = sorted(reachable(wfa._support_adjacency(), seeds))
+        index = {old: new for new, old in enumerate(kept)}
+        # Strictness is preserved: every initial/final weight is checked,
+        # reachable or not, exactly as the unprojected algorithm did.
+        for weight in wfa.initial:
+            _finite_weight_to_int(weight)
+        for weight in wfa.final:
+            _finite_weight_to_int(weight)
+        self.dim = len(kept)
+        self.initial = [_finite_weight_to_int(wfa.initial[old]) for old in kept]
+        self.final = [_finite_weight_to_int(wfa.final[old]) for old in kept]
+        # Per letter: tuple of (projected source, ((projected target, int
+        # weight), ...)) pairs.  A support edge from a reachable state ends
+        # in a reachable state by construction, so no target is dropped.
+        self.tables: Dict[str, Tuple] = {}
+        for letter in letters:
+            matrix = wfa.matrices.get(letter)
+            if matrix is None:
+                continue
+            table = []
+            for old_i, row in matrix.rows.items():
+                new_i = index.get(old_i)
+                if new_i is None or not row:
+                    continue
+                entries = tuple(
+                    (index[old_j], _finite_weight_to_int(weight))
+                    for old_j, weight in row.items()
+                )
+                table.append((new_i, entries))
+            if table:
+                self.tables[letter] = tuple(table)
 
 
 def tzeng_equivalent(left: WFA, right: WFA) -> EquivalenceResult:
@@ -93,26 +136,31 @@ def tzeng_equivalent(left: WFA, right: WFA) -> EquivalenceResult:
     ``⟨u(w), (η_L, -η_R)⟩ = 0`` for every ``w``; it suffices to check one
     word per independent vector, of which there are at most ``n_L + n_R`` —
     and in fact at most the number of *reachable* states of the two
-    automata.  Once the joint basis hits that bound, no successor can be
-    independent (and dependent vectors inherit ``⟨·, η⟩ = 0`` from the
-    basis), so the per-letter advance loop is skipped for the rest of the
-    queue: the early exit of ROADMAP lever 2.
+    automata.  The joint space is built directly in reachable coordinates
+    (:class:`_TzengSide`), so that bound *is* the vector dimension; once the
+    basis rank hits it, no successor can be independent (and dependent
+    vectors inherit ``⟨·, η⟩ = 0`` from the basis), so the per-letter
+    advance loop is skipped for the rest of the queue.  Advancing walks the
+    per-letter reachable-state masks, and all-zero successors (e.g. letters
+    dead on both sides) are skipped without touching the basis — they can
+    never be independent.
 
     All vectors live in ``Z`` (the automata here carry finite natural
     weights), so the basis stays on :class:`repro.linalg.RowSpace`'s
-    fraction-free integer fast path throughout.
+    fraction-free integer fast path throughout.  Projection never changes
+    answers: dropped coordinates are zero in every explored vector, so
+    independence verdicts, BFS order, counterexamples and ranks are
+    identical to the unprojected run.
     """
-    dim = left.num_states + right.num_states
-    final_functional: IntVector = tuple(
-        [_finite_weight_to_int(w) for w in left.final]
-        + [-_finite_weight_to_int(w) for w in right.final]
-    )
-    start: IntVector = tuple(
-        [_finite_weight_to_int(w) for w in left.initial]
-        + [_finite_weight_to_int(w) for w in right.initial]
-    )
     alphabet = sorted(left.alphabet | right.alphabet)
-    reachable_bound = _reachable_state_count(left) + _reachable_state_count(right)
+    left_side = _TzengSide(left, alphabet)
+    right_side = _TzengSide(right, alphabet)
+    offset = left_side.dim
+    dim = left_side.dim + right_side.dim
+    final_functional: IntVector = tuple(
+        left_side.final + [-value for value in right_side.final]
+    )
+    start: IntVector = tuple(left_side.initial + right_side.initial)
     basis = RowSpace(dim)
     queue: List[Tuple[IntVector, Tuple[str, ...]]] = []
     if basis.insert(start):
@@ -125,45 +173,35 @@ def tzeng_equivalent(left: WFA, right: WFA) -> EquivalenceResult:
                 counterexample=word,
                 reason=f"finite coefficients differ on word {' '.join(word) or 'ε'}",
             )
-        if basis.rank >= reachable_bound:
-            # Basis already spans the reachable coordinate subspace; only the
+        if basis.rank >= dim:
+            # Basis already spans the reachable coordinate space; only the
             # zero-functional checks of the remaining queued vectors are left.
             continue
         for letter in alphabet:
-            successor = _advance(vector, left, right, letter)
+            result = [0] * dim
+            nonzero = False
+            left_table = left_side.tables.get(letter)
+            if left_table is not None:
+                for source, entries in left_table:
+                    value = vector[source]
+                    if value:
+                        nonzero = True
+                        for target, weight in entries:
+                            result[target] += value * weight
+            right_table = right_side.tables.get(letter)
+            if right_table is not None:
+                for source, entries in right_table:
+                    value = vector[offset + source]
+                    if value:
+                        nonzero = True
+                        for target, weight in entries:
+                            result[offset + target] += value * weight
+            if not nonzero:
+                continue  # the zero vector is never independent
+            successor = tuple(result)
             if basis.insert(successor):
                 queue.append((successor, word + (letter,)))
     return EquivalenceResult(equal=True, counterexample=None, reason="Tzeng basis exhausted")
-
-
-def _advance(vector: IntVector, left: WFA, right: WFA, letter: str) -> IntVector:
-    n_left = left.num_states
-    return tuple(
-        _vector_matrix(vector, 0, left, letter)
-        + _vector_matrix(vector, n_left, right, letter)
-    )
-
-
-def _vector_matrix(
-    vector: Sequence[int], offset: int, wfa: WFA, letter: str
-) -> List[int]:
-    """``vector[offset:offset+n] · M(letter)`` over the sparse rows."""
-    n = wfa.num_states
-    result = [0] * n
-    matrix = wfa.matrices.get(letter)
-    if matrix is None:
-        return result
-    rows = matrix.rows
-    for i in range(n):
-        value = vector[offset + i]
-        if not value:
-            continue
-        row = rows.get(i)
-        if row is None:
-            continue
-        for j, weight in row.items():
-            result[j] += value * weight.finite_value
-    return result
 
 
 def _has_infinite_weight(wfa: WFA) -> bool:
@@ -216,7 +254,13 @@ def wfa_equivalent(left: WFA, right: WFA) -> EquivalenceResult:
             ),
         )
     # Stage 2: compare finite parts away from the common infinity support.
-    finite_language = left_dfa.complement()
+    # The support DFA is extended to the *union* alphabet before
+    # complementing: when the sides were compiled over their own alphabets
+    # (the engine's per-expression compilation), the complement must accept
+    # words using the partner's private letters — those words are outside
+    # the infinity support and their finite coefficients still have to
+    # agree.
+    finite_language = left_dfa.extended_to(left.alphabet | right.alphabet).complement()
     left_finite = restrict_to_dfa(drop_infinite_weights(left), finite_language)
     right_finite = restrict_to_dfa(drop_infinite_weights(right), finite_language)
     result = tzeng_equivalent(left_finite, right_finite)

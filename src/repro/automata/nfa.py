@@ -120,6 +120,36 @@ class DFA:
             accepting=set(range(self.num_states)) - self.accepting,
         )
 
+    def extended_to(self, alphabet: FrozenSet[str]) -> "DFA":
+        """The same language read over a larger alphabet.
+
+        Letters not in ``self.alphabet`` route every state to a fresh
+        non-accepting sink (so words containing them are rejected, matching
+        the implicit-sink convention of :func:`dfa_equivalent`), and the
+        result stays complete.  Needed when automata compiled over their own
+        alphabets meet in a product construction: the complement of an
+        infinity support, say, must *accept* words using the partner's
+        private letters, which only exist after extension.
+        """
+        extra = alphabet - self.alphabet
+        if not extra:
+            return self
+        merged = self.alphabet | alphabet
+        sink = self.num_states
+        transitions = dict(self.transitions)
+        for letter in extra:
+            for state in range(self.num_states + 1):
+                transitions[(state, letter)] = sink
+        for letter in self.alphabet:
+            transitions[(sink, letter)] = sink
+        return DFA(
+            num_states=self.num_states + 1,
+            alphabet=merged,
+            transitions=transitions,
+            initial=self.initial,
+            accepting=set(self.accepting),
+        )
+
     def is_empty(self) -> bool:
         """Whether the accepted language is empty.
 

@@ -57,6 +57,7 @@ __all__ = [
     "matrix_mul",
     "matrix_add",
     "expr_to_wfa",
+    "thompson_state_estimate",
     "infinity_support_nfa",
     "drop_infinite_weights",
     "restrict_to_dfa",
@@ -261,6 +262,17 @@ def _fragment(expr: Expr) -> _Fragment:
         raise TypeError(f"unknown expression node {expr!r}")
     _FRAGMENT_CACHE.put(expr, result)
     return result
+
+
+def thompson_state_estimate(expr: Expr) -> int:
+    """Pre-ε-elimination state count of the Thompson fragment of ``expr``.
+
+    A cheap, monotone proxy for compilation and equivalence cost, used by
+    the engine's query planner to order batch work cheapest-first.  It rides
+    the fragment memo, so estimating a batch costs at most one fragment
+    construction per distinct subterm — work compilation would do anyway.
+    """
+    return _fragment(expr).count
 
 
 def _shift_eps(fragment: _Fragment, offset: int) -> Tuple[Tuple[int, int], ...]:

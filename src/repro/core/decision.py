@@ -24,39 +24,49 @@ Remark 2.1), so only a refutation-complete bounded check is offered
 Caching contract
 ----------------
 
-Every query funnels through ``Expr → flatten → expr_to_wfa →
-wfa_equivalent``; because expressions are hash-consed
-(:mod:`repro.core.expr`), each stage memoizes on node *identity*:
+This module is a thin façade over the process's **default engine session**
+(:func:`repro.engine.default_engine`).  An :class:`repro.engine.NKAEngine`
+owns the two stateful caches of the pipeline:
 
-* compiled automata live in a bounded LRU keyed by ``(expr, alphabet)``
-  (``decision.wfa``) — repeated and overlapping queries compile once;
-* full equivalence verdicts live in a second LRU keyed by the expression
-  pair (``decision.results``), stored symmetrically, so re-asking the same
-  question is O(1);
-* upstream memos (``rewrite.flatten``, ``rewrite.match``,
-  ``rewrite.rules``, ``wfa.fragments``, ``expr.alphabet``) are registered
-  in the same registry; the weak FTerm intern tables report read-only
-  stats as ``rewrite.interned`` and are never cleared (entries vanish
-  with their last strong reference — see :mod:`repro.core.rewrite`).
+* compiled automata, keyed by the interned expression alone — each
+  expression compiles over its *own* alphabet (the verdict is
+  alphabet-independent; :func:`~repro.automata.equivalence.wfa_equivalent`
+  extends infinity supports to the union alphabet), so one entry serves
+  every partner, batch and ``coefficient`` word;
+* full equivalence verdicts, keyed by the expression pair and stored
+  symmetrically, so re-asking a question — in either orientation — is O(1).
 
-All caches are *bounded* with least-recently-used eviction — unlike the
-former ad-hoc dict that wiped itself wholesale at a size threshold — and
-eviction never changes answers, only timing.  Long-lived processes can
-inspect hit rates via :func:`cache_stats` and release memory with
-:func:`clear_caches`; :func:`configure_caches` resizes capacities (e.g. for
-memory-constrained serving).  For workloads that ask many related questions
-at once, :func:`nka_equal_many` shares compilation across the whole batch.
+Both are bounded LRUs; eviction never changes answers, only timing.  The
+upstream memos (``rewrite.flatten``, ``rewrite.match``, ``rewrite.rules``,
+``rewrite.occurrences``, ``wfa.fragments``, ``expr.alphabet``) are pure
+functions of interned nodes and stay **process-global**, shared by every
+engine session; the weak intern tables report read-only stats as
+``rewrite.interned`` and are never cleared (entries vanish with their last
+strong reference — see :mod:`repro.core.rewrite`).
+
+:func:`cache_stats`, :func:`clear_caches` and :func:`configure_caches`
+operate on the default session plus the process-global memos, exactly as
+they always have (the default engine's caches keep their historical
+registry names ``decision.wfa`` / ``decision.results``).  Isolated
+workloads — separate serving sessions, tests that must not share verdicts,
+differently-sized caches — construct their own
+:class:`~repro.engine.NKAEngine`; for batches, the engine's planner dedupes
+by interned identity and :meth:`~repro.engine.NKAEngine.equal_many` can run
+the batch on process workers, and
+:meth:`~repro.engine.NKAEngine.save_warm_state` /
+``NKAEngine(warm_state=…)`` persist the caches across processes for
+serve-mode warm start.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.automata.equivalence import EquivalenceResult, wfa_equivalent
-from repro.automata.wfa import WFA, expr_to_wfa
-from repro.core.expr import Expr, alphabet
+from repro.automata.equivalence import EquivalenceResult
+from repro.core.expr import Expr
 from repro.core.semiring import ExtNat
-from repro.util.cache import CacheStats, LRUCache, all_cache_stats, clear_all_caches
+from repro.engine import default_engine, words_up_to
+from repro.util.cache import CacheStats, all_cache_stats, clear_all_caches
 
 __all__ = [
     "nka_equal",
@@ -70,16 +80,21 @@ __all__ = [
     "configure_caches",
 ]
 
-_WFA_CACHE = LRUCache("decision.wfa", maxsize=4096)
-_RESULT_CACHE = LRUCache("decision.results", maxsize=8192)
+# Materialise the default session now so ``decision.wfa`` /
+# ``decision.results`` are present in the global registry from import on
+# (long-standing contract of cache_stats()); this allocates two empty LRU
+# maps and nothing else — no disk, no compilation.
+default_engine()
 
 
 def cache_stats() -> Dict[str, CacheStats]:
     """Hit/miss/eviction counters for every pipeline cache, keyed by name.
 
-    Includes the compile cache (``decision.wfa``), the verdict cache
-    (``decision.results``) and the upstream memos (``rewrite.flatten``,
-    ``wfa.fragments``, ``expr.alphabet``).
+    Includes the default session's compile cache (``decision.wfa``) and
+    verdict cache (``decision.results``) plus the process-global memos
+    (``rewrite.flatten``, ``wfa.fragments``, ``expr.alphabet``, …).
+    Private engine sessions report through their own
+    :meth:`~repro.engine.NKAEngine.stats` instead.
     """
     return all_cache_stats()
 
@@ -90,7 +105,9 @@ def clear_caches(reset_stats: bool = False) -> None:
     Use in long-lived processes to release memory, or in tests/benchmarks
     to force cold-cache behaviour.  The weak intern tables of
     :mod:`repro.core.expr` need no clearing (entries vanish with their
-    expressions); this only drops derived artefacts.
+    expressions); this only drops derived artefacts.  Clears the default
+    session and the shared memos; private engines clear themselves via
+    :meth:`~repro.engine.NKAEngine.clear`.
     """
     clear_all_caches(reset_stats=reset_stats)
 
@@ -98,83 +115,43 @@ def clear_caches(reset_stats: bool = False) -> None:
 def configure_caches(
     wfa_capacity: Optional[int] = None, result_capacity: Optional[int] = None
 ) -> None:
-    """Resize the decision-procedure caches (shrinking evicts LRU entries)."""
-    if wfa_capacity is not None:
-        _WFA_CACHE.resize(wfa_capacity)
-    if result_capacity is not None:
-        _RESULT_CACHE.resize(result_capacity)
-
-
-def _compile(expr: Expr, sigma: frozenset) -> WFA:
-    """Compile through the bounded LRU (hit = pointer lookup on interned key)."""
-    key = (expr, sigma)
-    cached = _WFA_CACHE.get(key)
-    if cached is not None:
-        return cached
-    wfa = expr_to_wfa(expr, extra_alphabet=sigma)
-    _WFA_CACHE.put(key, wfa)
-    return wfa
-
-
-def _decide(left: Expr, right: Expr, sigma: frozenset) -> EquivalenceResult:
-    """Decide with verdict caching; results are stored symmetrically.
-
-    ``sigma`` must contain the alphabets of both sides.  The verdict does
-    not depend on which superset is used: letters outside both expressions
-    have all-zero transition weights on both sides, so they can never occur
-    in a distinguishing word nor flip equality — hence one cache entry per
-    unordered pair serves every enclosing batch alphabet.
-    """
-    if left is right:
-        # Hash-consing makes syntactic equality pointer identity, and equal
-        # syntax trivially has equal series — no automaton needed.
-        return EquivalenceResult(
-            equal=True, counterexample=None, reason="syntactically identical"
-        )
-    key = (left, right)
-    cached = _RESULT_CACHE.get(key)
-    if cached is not None:
-        return cached
-    result = wfa_equivalent(_compile(left, sigma), _compile(right, sigma))
-    _RESULT_CACHE.put(key, result)
-    _RESULT_CACHE.put((right, left), result)
-    return result
+    """Resize the default session's caches (shrinking evicts LRU entries)."""
+    default_engine().configure(
+        wfa_capacity=wfa_capacity, result_capacity=result_capacity
+    )
 
 
 def nka_equal_detailed(left: Expr, right: Expr) -> EquivalenceResult:
     """Decide ``⊢NKA left = right`` and report how it was decided."""
-    sigma = frozenset(alphabet(left) | alphabet(right))
-    return _decide(left, right, sigma)
+    return default_engine().equal_detailed(left, right)
 
 
 def nka_equal(left: Expr, right: Expr) -> bool:
     """Decide ``⊢NKA left = right`` (True iff derivable from the NKA axioms)."""
-    return nka_equal_detailed(left, right).equal
+    return default_engine().equal(left, right)
 
 
 def nka_equal_many_detailed(
-    pairs: Iterable[Tuple[Expr, Expr]]
+    pairs: Iterable[Tuple[Expr, Expr]],
+    workers: Optional[int] = None,
 ) -> List[EquivalenceResult]:
-    """Decide a batch of queries, sharing compilation across the batch.
+    """Decide a batch of queries through the default engine's planner.
 
-    All expressions are compiled over the *union* alphabet of the batch, so
-    an expression appearing in several pairs (the common case in axiom
-    sweeps and normal-form checking) is compiled exactly once regardless of
-    which partner it is compared against.  Verdicts agree with the
-    one-at-a-time API (see :func:`_decide` on alphabet independence) and
-    land in the same caches.
+    The batch is deduped by interned identity (duplicates and symmetric
+    flips collapse to one task), short-circuited against the verdict cache,
+    ordered cheapest-first, and — with ``workers > 1`` — executed on
+    process workers.  Verdicts agree with the one-at-a-time API in every
+    configuration and land in the same caches.
     """
-    pairs = list(pairs)
-    sigma_parts = set()
-    for left, right in pairs:
-        sigma_parts |= alphabet(left) | alphabet(right)
-    sigma = frozenset(sigma_parts)
-    return [_decide(left, right, sigma) for left, right in pairs]
+    return default_engine().equal_many_detailed(pairs, workers=workers)
 
 
-def nka_equal_many(pairs: Iterable[Tuple[Expr, Expr]]) -> List[bool]:
+def nka_equal_many(
+    pairs: Iterable[Tuple[Expr, Expr]],
+    workers: Optional[int] = None,
+) -> List[bool]:
     """Batched :func:`nka_equal`: one bool per pair, compilation shared."""
-    return [result.equal for result in nka_equal_many_detailed(pairs)]
+    return default_engine().equal_many(pairs, workers=workers)
 
 
 def coefficient(expr: Expr, word: Sequence[str]) -> ExtNat:
@@ -183,21 +160,17 @@ def coefficient(expr: Expr, word: Sequence[str]) -> ExtNat:
     Computed through the compiled automaton, hence exact — including ``∞``
     coefficients such as ``{{1*}}[ε] = ∞``.
     """
-    sigma = frozenset(alphabet(expr)) | frozenset(word)
-    return _compile(expr, sigma).weight(tuple(word))
+    return default_engine().coefficient(expr, word)
 
 
 def _words_up_to(letters: Tuple[str, ...], max_length: int):
-    frontier: list = [()]
-    yield ()
-    for _ in range(max_length):
-        next_frontier = []
-        for word in frontier:
-            for letter in letters:
-                extended = word + (letter,)
-                yield extended
-                next_frontier.append(extended)
-        frontier = next_frontier
+    """Shortest-first word stream (kept for callers/tests of the old name).
+
+    Constant-memory: delegates to :func:`repro.engine.words_up_to`, which
+    replaced the stored-frontier BFS that materialised an entire
+    ``|Σ|^max_length`` level in memory.
+    """
+    return words_up_to(letters, max_length)
 
 
 def nka_leq_refute(
@@ -211,11 +184,4 @@ def nka_leq_refute(
     rational series is undecidable (Remark 2.1) — but every genuine failure
     has a finite witness, so this check is refutation-complete in the limit.
     """
-    sigma = frozenset(alphabet(left) | alphabet(right))
-    left_wfa = _compile(left, sigma)
-    right_wfa = _compile(right, sigma)
-    letters = tuple(sorted(sigma))
-    for word in _words_up_to(letters, max_length):
-        if not left_wfa.weight(word) <= right_wfa.weight(word):
-            return word
-    return None
+    return default_engine().leq_refute(left, right, max_length=max_length)

@@ -897,8 +897,77 @@ class RuleIndex:
 _Context = Callable[[FTerm], FTerm]
 _MAX_SUM_SUBSETS = 10
 
+_OCCURRENCES_CACHE = LRUCache("rewrite.occurrences", maxsize=1 << 13)
 
-def _occurrences(term: FTerm) -> Iterator[Tuple[FTerm, _Context]]:
+
+class _MemoSeq:
+    """A lazily-filled, replayable view of an occurrence enumeration.
+
+    Rewriting both *re-enumerates* the same interned subject across proof
+    steps (worth caching) and *abandons* enumerations early (``rewrites_to``
+    stops at the target, ``first_rewrite`` after one hit) — so neither a
+    plain generator (no reuse) nor an eager tuple (no early exit) is right.
+    This buffers items as they are first pulled; every later iteration
+    replays the buffer and only extends it on demand, so the skeleton of a
+    repeated subject is enumerated at most once *up to the deepest position
+    any caller ever reached*.
+    """
+
+    __slots__ = ("_source", "_buffer", "_exhausted")
+
+    def __init__(self, source: Iterator[Tuple[FTerm, _Context]]):
+        self._source = source
+        self._buffer: List[Tuple[FTerm, _Context]] = []
+        self._exhausted = False
+
+    def __iter__(self) -> Iterator[Tuple[FTerm, _Context]]:
+        if self._exhausted:
+            # Fully-buffered sequences (every full scan, e.g. a ground-rule
+            # identity sweep, exhausts the source) replay as a plain list
+            # iterator — no generator frame per item.
+            return iter(self._buffer)
+        return self._replay_and_fill()
+
+    def _replay_and_fill(self) -> Iterator[Tuple[FTerm, _Context]]:
+        buffer = self._buffer
+        index = 0
+        while True:
+            if index < len(buffer):
+                yield buffer[index]
+                index += 1
+                continue
+            if self._exhausted:
+                return
+            try:
+                item = next(self._source)
+            except StopIteration:
+                self._exhausted = True
+                return
+            buffer.append(item)
+            # No index bump: re-read the slot in case a nested iteration of
+            # the same memo advanced the buffer past us meanwhile.
+
+
+def _occurrences(term: FTerm) -> _MemoSeq:
+    """The ``(occurrence, rebuild)`` skeleton of ``term``, memoized per node.
+
+    Subjects repeat across proof steps and BFS frontiers (they are interned,
+    so repetition is pointer identity), yet the position skeleton used to be
+    re-enumerated on every rewrite call.  Each rebuild closure captures only
+    the interned term's own parts — never caller state — so the memoized
+    sequence is reusable verbatim; the recursion routes through the memo, so
+    a shared subterm's skeleton is built once no matter how many parents
+    reference it.  Entries are strong references in a bounded LRU
+    (``rewrite.occurrences``, cleared with the other pipeline memos).
+    """
+    cached = _OCCURRENCES_CACHE.get(term)
+    if cached is None:
+        cached = _MemoSeq(_enumerate_occurrences(term))
+        _OCCURRENCES_CACHE.put(term, cached)
+    return cached
+
+
+def _enumerate_occurrences(term: FTerm) -> Iterator[Tuple[FTerm, _Context]]:
     """Yield ``(occurrence, rebuild)`` pairs for every rewritable position.
 
     Occurrences include whole subterms, contiguous slices of products,

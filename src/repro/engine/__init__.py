@@ -1,0 +1,59 @@
+"""The decision-engine subsystem: isolated sessions over the NKA pipeline.
+
+Public surface:
+
+* :class:`NKAEngine` — a session owning its compile/verdict caches, with a
+  query planner, parallel batch execution, persistent warm start and
+  unified metrics (:mod:`repro.engine.core`);
+* :func:`default_engine` — the process-wide session backing the classic
+  :mod:`repro.core.decision` module-level API;
+* the persistence layer — :class:`WarmState`, :func:`pipeline_fingerprint`,
+  :class:`WarmStateError` / :class:`StaleWarmStateError`
+  (:mod:`repro.engine.persist`);
+* planner/executor introspection types for tooling —
+  :class:`~repro.engine.planner.BatchPlan`,
+  :class:`~repro.engine.executor.ExecutionReport`.
+
+Typical serve-mode use::
+
+    from repro.engine import NKAEngine
+
+    engine = NKAEngine("serving", workers=4)
+    verdicts = engine.equal_many(batch_of_pairs)      # planned + parallel
+    engine.save_warm_state("nka-warm.pickle")         # after warm-up
+    ...
+    engine = NKAEngine("serving", warm_state="nka-warm.pickle")
+    verdicts = engine.equal_many(batch_of_pairs)      # zero compilations
+
+See ``examples/engine_serving.py`` for the full walkthrough.
+"""
+
+from repro.engine.core import NKAEngine, default_engine, words_up_to
+from repro.engine.executor import ExecutionReport, decide_pure
+from repro.engine.persist import (
+    StaleWarmStateError,
+    WarmState,
+    WarmStateError,
+    load_warm_state,
+    pipeline_fingerprint,
+    save_warm_state,
+)
+from repro.engine.planner import BatchPlan, PlannedQuery, PlanStats, plan_batch
+
+__all__ = [
+    "NKAEngine",
+    "default_engine",
+    "words_up_to",
+    "decide_pure",
+    "ExecutionReport",
+    "BatchPlan",
+    "PlannedQuery",
+    "PlanStats",
+    "plan_batch",
+    "WarmState",
+    "WarmStateError",
+    "StaleWarmStateError",
+    "pipeline_fingerprint",
+    "save_warm_state",
+    "load_warm_state",
+]

@@ -1,0 +1,475 @@
+"""Session-scoped decision engine for the NKA equational theory.
+
+:class:`NKAEngine` owns what used to be module-global state of
+:mod:`repro.core.decision` — the compiled-automaton cache, the verdict
+cache, and their statistics — so multiple isolated sessions can coexist in
+one process: two engines never share verdicts, each has its own capacities,
+and each can be cleared, resized, persisted and inspected independently.
+The classic module-level API (``nka_equal`` & friends) survives as a thin
+façade over the process's *default* engine, whose caches keep their
+historical names (``decision.wfa`` / ``decision.results``) in the global
+cache registry.
+
+What an engine adds over the bare pipeline:
+
+* **query planning** (:mod:`repro.engine.planner`) — batches are deduped by
+  interned identity, short-circuited against the verdict cache, ordered
+  cheapest-first and grouped by shared subexpressions;
+* **parallel batch execution** (:mod:`repro.engine.executor`) — planned
+  tasks run on process workers, verdicts merging back deterministically;
+* **persistent warm start** (:mod:`repro.engine.persist`) — caches
+  serialize to a fingerprint-versioned on-disk state, so a fresh process
+  answers a known workload with zero compilations;
+* **metrics** — :meth:`NKAEngine.stats` unifies cache counters, planner
+  dedupe ratios and executor timings into one JSON-dumpable report.
+
+Pure, input-determined memos (flattening, Thompson fragments, alphabets,
+match results) stay process-global: they cannot leak information between
+sessions — their values are functions of their interned keys — and sharing
+them is exactly what makes a second engine in the same process cheap.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict
+from itertools import product as _words_product
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.automata.equivalence import EquivalenceResult, wfa_equivalent
+from repro.automata.wfa import WFA, expr_to_wfa
+from repro.core.expr import Expr, alphabet
+from repro.core.semiring import ExtNat
+from repro.engine.executor import ExecutionReport, execute_tasks
+from repro.engine.planner import IDENTICAL_RESULT, PlanStats, plan_batch
+from repro.engine.persist import (
+    StaleWarmStateError,
+    WarmState,
+    load_warm_state,
+    make_warm_state,
+    pipeline_fingerprint,
+    save_warm_state,
+)
+from repro.util.cache import CacheRegistry, LRUCache, process_registry
+
+__all__ = ["NKAEngine", "default_engine"]
+
+_ENGINE_COUNTER = [0]
+
+
+class NKAEngine:
+    """An isolated decision-procedure session with planning and warm start.
+
+    Args:
+        name: label used in stats and cache names (auto-numbered if omitted).
+        wfa_capacity / result_capacity: LRU bounds of the session's compile
+            and verdict caches.
+        workers: default worker count for :meth:`equal_many` (overridable
+            per call); ``1`` means in-process sequential execution.
+        warm_state: a :class:`~repro.engine.persist.WarmState`, or a path to
+            one, to preload the caches from.  Stale state (pipeline
+            fingerprint mismatch) raises
+            :class:`~repro.engine.persist.StaleWarmStateError` unless
+            ``strict_warm_state=False``, which falls back to a cold start.
+        cache_namespace: prefix for the cache names; the default engine
+            passes ``"decision"`` to keep the historical global names.
+        register_globally: also register this engine's caches in the
+            process-wide registry (:func:`repro.util.cache.all_cache_stats`)
+            — only the default engine does this; private sessions stay out
+            of the global namespace by design.
+
+    Thread-safety: cache mutations are guarded by an internal lock, so an
+    engine may be *called* from several threads; true parallelism comes
+    from process workers in :meth:`equal_many`, not from threading.
+    """
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        *,
+        wfa_capacity: int = 4096,
+        result_capacity: int = 8192,
+        workers: int = 1,
+        warm_state: Union[None, str, WarmState] = None,
+        strict_warm_state: bool = True,
+        cache_namespace: Optional[str] = None,
+        register_globally: bool = False,
+    ):
+        if name is None:
+            _ENGINE_COUNTER[0] += 1
+            name = f"engine-{_ENGINE_COUNTER[0]}"
+        self.name = name
+        namespace = cache_namespace or f"engine[{name}]"
+        self.registry = CacheRegistry(name)
+        self._wfa = LRUCache(
+            f"{namespace}.wfa", maxsize=wfa_capacity, registry=self.registry
+        )
+        self._results = LRUCache(
+            f"{namespace}.results", maxsize=result_capacity, registry=self.registry
+        )
+        if register_globally:
+            process_registry().register(self._wfa)
+            process_registry().register(self._results)
+        self.workers = max(1, int(workers))
+        self._lock = threading.RLock()
+        self._compilations = 0
+        self._decisions = 0
+        self._batches = 0
+        self._warm_wfas = 0
+        self._warm_verdicts = 0
+        self._plan_totals = PlanStats()
+        self._plan_seconds = 0.0
+        self._execute_seconds = 0.0
+        self._last_batch: Optional[Dict[str, object]] = None
+        if warm_state is not None:
+            self.load_warm_state(warm_state, strict=strict_warm_state)
+
+    # -- single-query API --------------------------------------------------
+
+    def compile(self, expr: Expr) -> WFA:
+        """The compiled automaton of ``expr`` through this session's cache.
+
+        Each expression compiles over its *own* alphabet — the decision is
+        alphabet-independent (see
+        :func:`repro.automata.equivalence.wfa_equivalent`), so one cache
+        entry per expression serves every partner and batch.
+        """
+        with self._lock:
+            cached = self._wfa.get(expr)
+            if cached is not None:
+                return cached
+        wfa = expr_to_wfa(expr)
+        with self._lock:
+            self._compilations += 1
+            self._wfa.put(expr, wfa)
+        return wfa
+
+    def equal_detailed(self, left: Expr, right: Expr) -> EquivalenceResult:
+        """Decide ``⊢NKA left = right`` and report how it was decided."""
+        if left is right:
+            # Hash-consing makes syntactic equality pointer identity, and
+            # equal syntax trivially has equal series — no automaton needed.
+            return IDENTICAL_RESULT
+        with self._lock:
+            cached = self._results.get((left, right))
+            if cached is not None:
+                return cached
+        result = wfa_equivalent(self.compile(left), self.compile(right))
+        self._store_verdict(left, right, result)
+        return result
+
+    def equal(self, left: Expr, right: Expr) -> bool:
+        """Decide ``⊢NKA left = right`` (True iff derivable from the axioms)."""
+        return self.equal_detailed(left, right).equal
+
+    def _store_verdict(
+        self, left: Expr, right: Expr, result: EquivalenceResult
+    ) -> None:
+        """Record a verdict symmetrically (one decision answers both
+        orientations — a distinguishing word distinguishes either way)."""
+        with self._lock:
+            self._decisions += 1
+            self._results.put((left, right), result)
+            self._results.put((right, left), result)
+
+    def _cached_verdict(
+        self, left: Expr, right: Expr
+    ) -> Optional[EquivalenceResult]:
+        with self._lock:
+            return self._results.get((left, right))
+
+    # -- batch API ---------------------------------------------------------
+
+    def equal_many_detailed(
+        self,
+        pairs: Iterable[Tuple[Expr, Expr]],
+        workers: Optional[int] = None,
+    ) -> List[EquivalenceResult]:
+        """Decide a batch: plan (dedupe/short-circuit/order), execute, merge.
+
+        Verdicts are byte-identical to calling :meth:`equal_detailed` once
+        per pair, for every worker count: the planner only removes work
+        whose answer is already forced, and every remaining task runs the
+        same pure computation the sequential path would.
+        """
+        pairs = list(pairs)
+        effective_workers = self.workers if workers is None else max(1, int(workers))
+        plan_started = time.perf_counter()
+        plan = plan_batch(pairs, self._cached_verdict)
+        plan_seconds = time.perf_counter() - plan_started
+        verdicts, report = execute_tasks(
+            plan,
+            effective_workers,
+            sequential_decide=self._decide_into_caches,
+        )
+        # Merge in task-id order: deterministic cache state regardless of
+        # scheduling (process workers return verdicts in arbitrary order).
+        for task in plan.tasks:
+            result = verdicts[task.task_id]
+            if report.mode != "sequential":
+                self._store_verdict(task.left, task.right, result)
+            for position in task.positions:
+                plan.results[position] = result
+        with self._lock:
+            self._batches += 1
+            self._plan_seconds += plan_seconds
+            self._execute_seconds += report.wall_seconds
+            self._accumulate_plan_stats(plan.stats)
+            self._last_batch = {
+                "pairs": len(pairs),
+                "planner": plan.stats.as_dict(),
+                "executor": report.as_dict(),
+                "plan_seconds": round(plan_seconds, 6),
+            }
+        results = plan.results
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def equal_many(
+        self,
+        pairs: Iterable[Tuple[Expr, Expr]],
+        workers: Optional[int] = None,
+    ) -> List[bool]:
+        """Batched :meth:`equal`: one bool per pair."""
+        return [
+            result.equal for result in self.equal_many_detailed(pairs, workers=workers)
+        ]
+
+    def _decide_into_caches(self, left: Expr, right: Expr) -> EquivalenceResult:
+        """Sequential task execution path: ride this engine's caches."""
+        result = wfa_equivalent(self.compile(left), self.compile(right))
+        self._store_verdict(left, right, result)
+        return result
+
+    def _accumulate_plan_stats(self, stats: PlanStats) -> None:
+        totals = self._plan_totals
+        totals.queries += stats.queries
+        totals.pointer_equal += stats.pointer_equal
+        totals.verdict_cache_hits += stats.verdict_cache_hits
+        totals.duplicates += stats.duplicates
+        totals.tasks += stats.tasks
+        totals.estimated_cost += stats.estimated_cost
+        totals.distinct_expressions += stats.distinct_expressions
+        totals.shared_expression_groups += stats.shared_expression_groups
+
+    # -- auxiliary queries -------------------------------------------------
+
+    def coefficient(self, expr: Expr, word: Sequence[str]) -> ExtNat:
+        """The coefficient ``{{expr}}[word]`` via the cached automaton.
+
+        Letters outside the expression's alphabet contribute zero-weight
+        transitions, so the per-expression cache entry answers every word.
+        """
+        return self.compile(expr).weight(tuple(word))
+
+    def leq_refute(
+        self, left: Expr, right: Expr, max_length: int = 4
+    ) -> Optional[Tuple[str, ...]]:
+        """Search for a refutation of ``left ≤ right`` up to ``max_length``.
+
+        Returns a word ``w`` with ``{{left}}[w] > {{right}}[w]`` if one
+        exists among words of length at most ``max_length``, else ``None``
+        (which is *not* a proof of ``≤`` — the order is undecidable).  The
+        word stream is a constant-memory generator; only the automata and
+        the current word are ever held.
+        """
+        sigma = frozenset(alphabet(left) | alphabet(right))
+        left_wfa = self.compile(left)
+        right_wfa = self.compile(right)
+        for word in words_up_to(tuple(sorted(sigma)), max_length):
+            if not left_wfa.weight(word) <= right_wfa.weight(word):
+                return word
+        return None
+
+    # -- management --------------------------------------------------------
+
+    def clear(self, reset_stats: bool = False) -> None:
+        """Empty this session's caches (a pure memo reset).
+
+        Process-global memos (fragments, flattening, alphabets) are *not*
+        touched — they are shared with other sessions; clear them through
+        :func:`repro.core.decision.clear_caches` if needed.
+        """
+        with self._lock:
+            self.registry.clear(reset_stats=reset_stats)
+            if reset_stats:
+                self._compilations = 0
+                self._decisions = 0
+                self._batches = 0
+                self._warm_wfas = 0
+                self._warm_verdicts = 0
+                self._plan_totals = PlanStats()
+                self._plan_seconds = 0.0
+                self._execute_seconds = 0.0
+                self._last_batch = None
+
+    def configure(
+        self,
+        wfa_capacity: Optional[int] = None,
+        result_capacity: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        """Resize caches (shrinking evicts LRU entries) / set default workers."""
+        with self._lock:
+            if wfa_capacity is not None:
+                self._wfa.resize(wfa_capacity)
+            if result_capacity is not None:
+                self._results.resize(result_capacity)
+            if workers is not None:
+                self.workers = max(1, int(workers))
+
+    @property
+    def compilations(self) -> int:
+        """Automata actually compiled by this session (cache misses)."""
+        return self._compilations
+
+    def stats(self) -> Dict[str, object]:
+        """One JSON-dumpable report unifying every per-session counter.
+
+        ``caches`` are this session's LRU counters; ``planner`` aggregates
+        dedupe counters over all batches (``dedupe_ratio`` = fraction of
+        batch positions answered without a fresh automaton-level task);
+        ``timings`` separate planning from execution; ``last_batch`` keeps
+        the most recent batch's full breakdown for live dashboards.
+        """
+        with self._lock:
+            return {
+                "engine": self.name,
+                "caches": {
+                    name: asdict(stats)
+                    for name, stats in self.registry.stats().items()
+                },
+                "compilations": self._compilations,
+                "decisions": self._decisions,
+                "batches": self._batches,
+                "warm_start": {
+                    "wfas_loaded": self._warm_wfas,
+                    "verdicts_loaded": self._warm_verdicts,
+                },
+                "planner": self._plan_totals.as_dict(),
+                "timings": {
+                    "plan_seconds": round(self._plan_seconds, 6),
+                    "execute_seconds": round(self._execute_seconds, 6),
+                },
+                "last_batch": self._last_batch,
+            }
+
+    def stats_json(self, indent: int = 2) -> str:
+        """:meth:`stats` as a JSON document (for the benchmark harness)."""
+        return json.dumps(self.stats(), indent=indent, sort_keys=True)
+
+    # -- warm-start persistence --------------------------------------------
+
+    def warm_state(self) -> WarmState:
+        """Snapshot this session's caches as a portable warm state."""
+        with self._lock:
+            wfas = self._wfa.items()
+            verdict_items = self._results.items()
+        verdicts = []
+        emitted = set()
+        for (left, right), result in verdict_items:
+            if (right, left) in emitted:
+                continue  # symmetric twin of an already-kept entry
+            emitted.add((left, right))
+            verdicts.append(((left, right), result))
+        return make_warm_state(
+            wfas=wfas,
+            verdicts=verdicts,
+            meta={
+                "engine": self.name,
+                "wfa_entries": len(wfas),
+                "verdict_entries": len(verdicts),
+            },
+        )
+
+    def save_warm_state(self, path: str) -> str:
+        """Serialize the caches to ``path`` for cross-process warm start."""
+        return save_warm_state(self.warm_state(), path)
+
+    def load_warm_state(
+        self, state: Union[str, WarmState], strict: bool = True
+    ) -> bool:
+        """Preload the caches from a snapshot (path or in-memory state).
+
+        Returns whether anything was loaded.  Stale or invalid state raises
+        (see :func:`repro.engine.persist.load_warm_state`) unless ``strict``
+        is false, in which case the engine simply stays cold.  The pipeline
+        fingerprint is checked for in-memory snapshots too — a ``WarmState``
+        received over RPC or unpickled by the caller is no more trustworthy
+        than a file.
+        """
+        if isinstance(state, str):
+            try:
+                loaded = load_warm_state(state, strict=strict)
+            except Exception:
+                if strict:
+                    raise
+                loaded = None
+            if loaded is None:
+                return False
+            state = loaded
+        elif state.fingerprint != pipeline_fingerprint():
+            if strict:
+                raise StaleWarmStateError(
+                    f"in-memory warm state was produced by pipeline "
+                    f"{state.fingerprint[:12]}…, this process is "
+                    f"{pipeline_fingerprint()[:12]}…; recompile cold and re-save"
+                )
+            return False
+        with self._lock:
+            for expr, wfa in state.wfas:
+                self._wfa.put(expr, wfa)
+                self._warm_wfas += 1
+            for (left, right), result in state.verdicts:
+                self._results.put((left, right), result)
+                self._results.put((right, left), result)
+                self._warm_verdicts += 1
+        return bool(state.wfas or state.verdicts)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"NKAEngine({self.name!r}, wfa={len(self._wfa)}, "
+            f"results={len(self._results)}, workers={self.workers})"
+        )
+
+
+def words_up_to(letters: Tuple[str, ...], max_length: int):
+    """All words over ``letters`` of length ≤ ``max_length``, shortest first.
+
+    A constant-memory generator: within each length the stream is the
+    lexicographic product (identical to the old stored-frontier BFS order,
+    since extending frontier words in letter order *is* the next product),
+    but nothing beyond the current word is materialised — the old
+    implementation kept the entire previous length in a list, i.e.
+    ``|Σ|^max_length`` tuples at once.
+    """
+    for length in range(max_length + 1):
+        for word in _words_product(letters, repeat=length):
+            yield word
+
+
+_DEFAULT_ENGINE: Optional[NKAEngine] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_engine() -> NKAEngine:
+    """The process-wide default session backing the module-level API.
+
+    Created on first use; its caches are registered in the global cache
+    registry under the historical names ``decision.wfa`` /
+    ``decision.results``, so :func:`repro.core.decision.cache_stats`,
+    ``clear_caches`` and ``configure_caches`` keep their long-standing
+    behaviour.
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        with _DEFAULT_LOCK:
+            if _DEFAULT_ENGINE is None:
+                _DEFAULT_ENGINE = NKAEngine(
+                    name="default",
+                    cache_namespace="decision",
+                    register_globally=True,
+                )
+    return _DEFAULT_ENGINE

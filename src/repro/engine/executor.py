@@ -1,0 +1,227 @@
+"""Parallel execution of planned query batches.
+
+Automata compilation and Tzeng's algorithm are *pure* once the inputs are
+interned: a planned query's verdict depends only on its two expressions, so
+independent tasks can run on any worker topology and merge back
+deterministically — verdicts are independent of execution order, worker
+count and scheduling, which is what makes the engine's batch API safe to
+parallelise at all.
+
+Worker model
+------------
+
+CPython's GIL makes threads useless for this CPU-bound work, so real
+parallelism uses **process** workers (``concurrent.futures``, preferring
+the ``fork`` start method where available — forked children inherit the
+parent's warm intern tables and fragment memos for free; under ``spawn``
+the expressions re-intern on unpickling, which costs a little more but
+changes nothing).  Tasks are shipped as whole *sharing groups*
+(:func:`repro.engine.planner.plan_batch` groups tasks connected by shared
+subexpressions) bin-packed onto workers cheapest-group-last, so every
+distinct expression is compiled in exactly one worker process.
+
+Each worker keeps a per-call compile memo; results come back as plain
+:class:`~repro.automata.equivalence.EquivalenceResult` values (cheap to
+pickle) tagged with the task id, and the parent merges them by id — the
+orderless part of the computation never leaks into the output.
+
+A worker count of 0/1 — or a task list too small to amortise pool start-up
+— degrades to an in-process loop over the same pure function, so results
+are byte-identical across every configuration by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.automata.equivalence import EquivalenceResult, wfa_equivalent
+from repro.automata.wfa import WFA, expr_to_wfa
+from repro.core.expr import Expr
+from repro.engine.planner import BatchPlan, PlannedQuery
+
+__all__ = ["ExecutionReport", "decide_pure", "execute_tasks"]
+
+# Below this many tasks a process pool costs more than it saves.
+MIN_TASKS_FOR_POOL = 8
+
+
+class ExecutionReport:
+    """Timings and topology of one executed batch (JSON-friendly)."""
+
+    __slots__ = (
+        "workers",
+        "mode",
+        "tasks",
+        "wall_seconds",
+        "worker_seconds",
+        "max_bucket_seconds",
+    )
+
+    def __init__(
+        self,
+        workers: int,
+        mode: str,
+        tasks: int,
+        wall_seconds: float,
+        worker_seconds: float,
+        max_bucket_seconds: float,
+    ):
+        self.workers = workers
+        self.mode = mode
+        self.tasks = tasks
+        self.wall_seconds = wall_seconds
+        self.worker_seconds = worker_seconds
+        self.max_bucket_seconds = max_bucket_seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "workers": self.workers,
+            "mode": self.mode,
+            "tasks": self.tasks,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "worker_seconds": round(self.worker_seconds, 6),
+            "max_bucket_seconds": round(self.max_bucket_seconds, 6),
+        }
+
+
+def decide_pure(
+    left: Expr, right: Expr, compile_memo: Optional[Dict[Expr, WFA]] = None
+) -> EquivalenceResult:
+    """Decide one pair from scratch — the single source of truth for tasks.
+
+    Both the sequential fallback and every process worker run exactly this
+    function (each side compiled over its own alphabet), which is why
+    verdicts cannot depend on the execution topology.
+    """
+    if compile_memo is None:
+        left_wfa = expr_to_wfa(left)
+        right_wfa = expr_to_wfa(right)
+    else:
+        left_wfa = compile_memo.get(left)
+        if left_wfa is None:
+            left_wfa = compile_memo[left] = expr_to_wfa(left)
+        right_wfa = compile_memo.get(right)
+        if right_wfa is None:
+            right_wfa = compile_memo[right] = expr_to_wfa(right)
+    return wfa_equivalent(left_wfa, right_wfa)
+
+
+def _run_bucket(
+    items: Sequence[Tuple[int, Expr, Expr]]
+) -> Tuple[List[Tuple[int, EquivalenceResult]], float]:
+    """Worker entry point: decide a bucket, reusing compilations within it."""
+    started = time.perf_counter()
+    memo: Dict[Expr, WFA] = {}
+    results = [
+        (task_id, decide_pure(left, right, memo)) for task_id, left, right in items
+    ]
+    return results, time.perf_counter() - started
+
+
+def _pool_context():
+    """Prefer ``fork`` (inherits warm memo tables); fall back to the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _buckets_for(
+    plan: BatchPlan, workers: int
+) -> List[List[PlannedQuery]]:
+    """Bin-pack sharing groups onto workers by estimated cost (LPT greedy).
+
+    Groups — not individual tasks — are the unit, so tasks that share an
+    expression always land in the same process and compile it once.  Within
+    a bucket, tasks keep the planner's cheapest-first order.
+    """
+    by_id = {task.task_id: task for task in plan.tasks}
+    groups = sorted(
+        plan.groups,
+        key=lambda group: (-sum(by_id[task_id].cost for task_id in group), group[0]),
+    )
+    buckets: List[List[PlannedQuery]] = [[] for _ in range(workers)]
+    loads = [0] * workers
+    for group in groups:
+        slot = loads.index(min(loads))
+        buckets[slot].extend(by_id[task_id] for task_id in group)
+        loads[slot] += sum(by_id[task_id].cost for task_id in group)
+    for bucket in buckets:
+        bucket.sort(key=lambda task: task.task_id)
+    return [bucket for bucket in buckets if bucket]
+
+
+def execute_tasks(
+    plan: BatchPlan,
+    workers: int,
+    sequential_decide=None,
+) -> Tuple[Dict[int, EquivalenceResult], ExecutionReport]:
+    """Run every planned task; return verdicts keyed by task id + a report.
+
+    When the batch degrades to the in-process path, ``sequential_decide``
+    (the engine's cache-backed decide, typically) runs each task so
+    compiled automata land in the engine's compile cache; process workers
+    instead keep per-process memos, and the parent's caches are *not*
+    touched here — the owning engine merges the returned verdicts, so
+    cache state after a batch is deterministic (task-id order) no matter
+    how execution interleaved.
+
+    The worker count is capped at the machine's core count: this work is
+    pure CPU, so extra processes only add fork/pickle overhead — on a
+    single-core box every ``workers`` value degrades to the in-process
+    path.  (Verdicts are identical either way; only wall-clock differs.)
+    Set ``REPRO_ENGINE_OVERSUBSCRIBE=1`` to lift the cap — used by the
+    test-suite to exercise the process path on small machines.
+    """
+    tasks = plan.tasks
+    if os.environ.get("REPRO_ENGINE_OVERSUBSCRIBE") != "1":
+        workers = min(workers, os.cpu_count() or 1)
+    started = time.perf_counter()
+    if workers <= 1 or len(tasks) < MIN_TASKS_FOR_POOL:
+        if sequential_decide is None:
+            memo: Dict[Expr, WFA] = {}
+
+            def sequential_decide(left, right, _memo=memo):
+                return decide_pure(left, right, _memo)
+
+        verdicts = {
+            task.task_id: sequential_decide(task.left, task.right) for task in tasks
+        }
+        wall = time.perf_counter() - started
+        return verdicts, ExecutionReport(
+            workers=1,
+            mode="sequential",
+            tasks=len(tasks),
+            wall_seconds=wall,
+            worker_seconds=wall,
+            max_bucket_seconds=wall,
+        )
+
+    buckets = _buckets_for(plan, workers)
+    payloads = [
+        [(task.task_id, task.left, task.right) for task in bucket]
+        for bucket in buckets
+    ]
+    verdicts: Dict[int, EquivalenceResult] = {}
+    worker_seconds = 0.0
+    max_bucket = 0.0
+    with ProcessPoolExecutor(
+        max_workers=len(buckets), mp_context=_pool_context()
+    ) as pool:
+        for results, bucket_seconds in pool.map(_run_bucket, payloads):
+            worker_seconds += bucket_seconds
+            max_bucket = max(max_bucket, bucket_seconds)
+            for task_id, result in results:
+                verdicts[task_id] = result
+    return verdicts, ExecutionReport(
+        workers=len(buckets),
+        mode="process",
+        tasks=len(tasks),
+        wall_seconds=time.perf_counter() - started,
+        worker_seconds=worker_seconds,
+        max_bucket_seconds=max_bucket,
+    )

@@ -1,0 +1,191 @@
+"""Persistent warm-start state for :class:`repro.engine.NKAEngine`.
+
+A long-lived serving process answers most queries out of the compile and
+verdict caches; a *freshly started* process answers nothing until it has
+recompiled the working set.  This module closes that gap: an engine can
+serialize its caches to an on-disk **warm state**
+(:meth:`repro.engine.NKAEngine.save_warm_state`) and a new process — or a
+new engine session in the same process — can start from it
+(``NKAEngine(warm_state=...)``), answering the same workload with zero
+compilations.
+
+Format and staleness
+--------------------
+
+The state is a single pickle (expressions re-intern on load — see the
+hash-consing contract of :mod:`repro.core.expr` — and sparse matrices
+re-attach their canonical semiring instances by name).  Every state embeds a
+**pipeline fingerprint**: a hash over the source of each module whose
+behaviour the cached artefacts depend on (expression interning, the
+Thompson construction, ε-elimination, Tzeng, the sparse kernels) plus a
+format version.  Loading checks the fingerprint first and rejects stale
+state with :class:`StaleWarmStateError` — a WFA compiled by an older
+pipeline must never masquerade as a fresh one, and a clean typed error lets
+a serving wrapper fall back to a cold start and rebuild the state.
+
+Nothing in this module runs at import time: fingerprints are computed on
+first use, so ``import repro`` stays free of disk I/O.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.automata.equivalence import EquivalenceResult
+from repro.automata.wfa import WFA
+from repro.core.expr import Expr
+
+__all__ = [
+    "PERSIST_FORMAT",
+    "WarmState",
+    "WarmStateError",
+    "StaleWarmStateError",
+    "pipeline_fingerprint",
+    "make_warm_state",
+    "save_warm_state",
+    "load_warm_state",
+]
+
+PERSIST_FORMAT = 1
+
+# Modules whose source determines the meaning of persisted artefacts.  A
+# change to any of them (new node layout, different ε-elimination, a Tzeng
+# rework …) flips the fingerprint and invalidates every stored state.
+_FINGERPRINT_MODULES = (
+    "repro.core.expr",
+    "repro.core.semiring",
+    "repro.linalg.semiring",
+    "repro.linalg.sparse",
+    "repro.linalg.rowspace",
+    "repro.automata.nfa",
+    "repro.automata.wfa",
+    "repro.automata.equivalence",
+)
+
+_FINGERPRINT: Optional[str] = None
+
+
+def pipeline_fingerprint() -> str:
+    """Hex digest identifying the compile pipeline's current behaviour.
+
+    Computed once per process (the sources cannot change under a running
+    interpreter in any way that matters to already-imported code).
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        digest = hashlib.sha256()
+        digest.update(f"format:{PERSIST_FORMAT}".encode())
+        for name in _FINGERPRINT_MODULES:
+            module = importlib.import_module(name)
+            source = getattr(module, "__file__", None)
+            digest.update(name.encode())
+            if source and os.path.exists(source):
+                with open(source, "rb") as handle:
+                    digest.update(handle.read())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+class WarmStateError(RuntimeError):
+    """A warm-state file is unreadable or structurally invalid."""
+
+
+class StaleWarmStateError(WarmStateError):
+    """A warm-state file was produced by a different pipeline version.
+
+    Deliberately a distinct type: serving wrappers catch it to fall back to
+    a cold start (and typically rebuild the state), while a corrupt file —
+    plain :class:`WarmStateError` — usually deserves louder handling.
+    """
+
+
+@dataclass
+class WarmState:
+    """A portable snapshot of an engine's compile and verdict caches.
+
+    ``wfas`` holds ``(expression, compiled automaton)`` pairs;
+    ``verdicts`` holds one entry per *unordered* expression pair (the
+    loading engine restores both orientations).  Entries are ordered
+    least- to most-recently used so that replaying them through ``put``
+    reproduces the source engine's eviction order.
+    """
+
+    fingerprint: str
+    wfas: List[Tuple[Expr, WFA]]
+    verdicts: List[Tuple[Tuple[Expr, Expr], EquivalenceResult]]
+    created_at: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+def save_warm_state(state: WarmState, path: str) -> str:
+    """Atomically write ``state`` to ``path`` (tmp file + rename)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    descriptor, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".warmstate-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_warm_state(path: str, strict: bool = True) -> Optional[WarmState]:
+    """Read and validate a warm state.
+
+    Raises :class:`StaleWarmStateError` when the embedded fingerprint does
+    not match this process's :func:`pipeline_fingerprint` (or returns
+    ``None`` when ``strict`` is false — the cold-start fallback), and
+    :class:`WarmStateError` for unreadable or malformed files.
+    """
+    try:
+        with open(path, "rb") as handle:
+            state = pickle.load(handle)
+    except OSError as error:
+        raise WarmStateError(f"cannot read warm state {path!r}: {error}") from error
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as error:
+        raise WarmStateError(
+            f"warm state {path!r} is not a valid snapshot: {error}"
+        ) from error
+    if not isinstance(state, WarmState):
+        raise WarmStateError(
+            f"warm state {path!r} holds {type(state).__name__}, expected WarmState"
+        )
+    current = pipeline_fingerprint()
+    if state.fingerprint != current:
+        if not strict:
+            return None
+        raise StaleWarmStateError(
+            f"warm state {path!r} was produced by pipeline "
+            f"{state.fingerprint[:12]}…, this process is {current[:12]}…; "
+            "recompile cold and re-save"
+        )
+    return state
+
+
+def make_warm_state(
+    wfas: List[Tuple[Expr, WFA]],
+    verdicts: List[Tuple[Tuple[Expr, Expr], EquivalenceResult]],
+    meta: Optional[Dict[str, Any]] = None,
+) -> WarmState:
+    """Assemble a snapshot stamped with the current fingerprint."""
+    return WarmState(
+        fingerprint=pipeline_fingerprint(),
+        wfas=wfas,
+        verdicts=verdicts,
+        created_at=time.time(),
+        meta=dict(meta or {}),
+    )

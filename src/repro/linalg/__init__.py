@@ -80,7 +80,14 @@ from repro.linalg.rowspace import (
     sub,
     vector,
 )
-from repro.linalg.semiring import BOOL, EXT_NAT, FRACTION, SemiringSpec
+from repro.linalg.semiring import (
+    BOOL,
+    EXT_NAT,
+    FRACTION,
+    SemiringSpec,
+    register_semiring,
+    semiring_by_name,
+)
 from repro.linalg.sparse import (
     SparseMatrix,
     SparseVec,
@@ -95,6 +102,8 @@ __all__ = [
     "EXT_NAT",
     "BOOL",
     "FRACTION",
+    "register_semiring",
+    "semiring_by_name",
     "SparseMatrix",
     "SparseVec",
     "vec_mat",

@@ -20,6 +20,13 @@ The protocol is deliberately *first-order* (plain callables, no abstract
 base class): kernels fetch ``add``/``mul`` once into locals, which keeps the
 inner loops free of attribute lookups and lets instances wrap existing
 operator implementations without adapter classes.
+
+Specs pickle **by name** through the registry below (the operation slots
+hold lambdas, which cannot be pickled — and should not be: a deserialised
+matrix must use *this* process's canonical instance so identity checks and
+closures keep working).  That is what lets compiled automata cross process
+boundaries — the engine's parallel executor and the warm-start persistence
+layer (:mod:`repro.engine.persist`) both rely on it.
 """
 
 from __future__ import annotations
@@ -32,7 +39,14 @@ from typing import Any, Callable, Optional
 from repro.core.semiring import ExtNat, INF, ONE, ZERO
 from repro.util.errors import DecisionError
 
-__all__ = ["SemiringSpec", "EXT_NAT", "BOOL", "FRACTION"]
+__all__ = [
+    "SemiringSpec",
+    "EXT_NAT",
+    "BOOL",
+    "FRACTION",
+    "semiring_by_name",
+    "register_semiring",
+]
 
 
 @dataclass(frozen=True)
@@ -70,8 +84,68 @@ class SemiringSpec:
             )
         return self.star(value)
 
+    # Specs are immutable bundles of constants and functions, so copying is
+    # identity — this also keeps deepcopy of matrices (which would otherwise
+    # route through __reduce__) working for unregistered custom specs.
+    def __copy__(self) -> "SemiringSpec":
+        return self
 
-EXT_NAT = SemiringSpec(
+    def __deepcopy__(self, _memo) -> "SemiringSpec":
+        return self
+
+    def __reduce__(self):
+        # Pickle by name: unpickling resolves to this process's canonical
+        # instance, so spec identity (and the unpicklable operation
+        # closures) survive process boundaries and on-disk round-trips.
+        # Refuse to pickle a spec the registry would not faithfully restore
+        # — an unregistered custom spec, or a name-shadowing twin of a
+        # canonical one — rather than silently swap operations on load.
+        if _SEMIRINGS_BY_NAME.get(self.name) is not self:
+            raise DecisionError(
+                f"semiring {self.name!r} is not the registered instance of "
+                "that name; call repro.linalg.register_semiring(spec) (with "
+                "a unique name) before pickling matrices built on it"
+            )
+        return (semiring_by_name, (self.name,))
+
+
+_SEMIRINGS_BY_NAME: dict = {}
+
+
+def semiring_by_name(name: str) -> "SemiringSpec":
+    """The canonical registered instance of that name (pickle support)."""
+    try:
+        return _SEMIRINGS_BY_NAME[name]
+    except KeyError:
+        raise DecisionError(
+            f"unknown weight semiring {name!r}; registered: "
+            f"{sorted(_SEMIRINGS_BY_NAME)}"
+        ) from None
+
+
+def register_semiring(spec: "SemiringSpec") -> "SemiringSpec":
+    """Make a custom spec the canonical instance of its name.
+
+    Required before pickling matrices/automata built on the spec (pickling
+    is by name — see :meth:`SemiringSpec.__reduce__`); the same
+    registration must run in any process that unpickles them.  Re-binding a
+    name already held by a *different* instance is rejected to protect the
+    built-in instances (and everyone else) from silent operation swaps.
+    """
+    existing = _SEMIRINGS_BY_NAME.get(spec.name)
+    if existing is not None and existing is not spec:
+        raise DecisionError(
+            f"semiring name {spec.name!r} is already registered to a "
+            "different instance; pick a unique name"
+        )
+    _SEMIRINGS_BY_NAME[spec.name] = spec
+    return spec
+
+
+_register = register_semiring
+
+
+EXT_NAT = _register(SemiringSpec(
     name="ExtNat",
     zero=ZERO,
     one=ONE,
@@ -79,11 +153,11 @@ EXT_NAT = SemiringSpec(
     mul=operator.mul,
     is_zero=lambda value: value.is_zero,
     star=ExtNat.star,
-)
+))
 """``N̄``: the complete star semiring of Def. A.1 (``INF`` available)."""
 
 
-BOOL = SemiringSpec(
+BOOL = _register(SemiringSpec(
     name="bool",
     zero=False,
     one=True,
@@ -91,7 +165,7 @@ BOOL = SemiringSpec(
     mul=operator.and_,
     is_zero=operator.not_,
     star=lambda value: True,
-)
+))
 """Boolean semiring; matrix star = reflexive-transitive closure."""
 
 
@@ -101,7 +175,7 @@ def _fraction_star(value: Fraction) -> Fraction:
     return Fraction(1) / (Fraction(1) - value)
 
 
-FRACTION = SemiringSpec(
+FRACTION = _register(SemiringSpec(
     name="Fraction",
     zero=Fraction(0),
     one=Fraction(1),
@@ -109,5 +183,5 @@ FRACTION = SemiringSpec(
     mul=operator.mul,
     is_zero=lambda value: value == 0,
     star=_fraction_star,
-)
+))
 """The field ``Q``; star is the geometric sum, partial (undefined at 1)."""

@@ -56,6 +56,7 @@ __all__ = [
     "wlp",
     "encode_triple",
     "check_encoded_triple",
+    "refute_encoded_triple",
 ]
 
 
@@ -175,3 +176,29 @@ def check_encoded_triple(
     # ρ ↦ tr(ρ)·E†(I−B̄…): build directly as post_neg then program.
     composite = post_neg.then(program_action_dual)
     return action_leq(composite, pre_neg, atol=atol)
+
+
+def refute_encoded_triple(
+    inequation: Inequation,
+    max_length: int = 4,
+    engine=None,
+) -> Optional[tuple]:
+    """Probe an encoded triple ``p·b̄ ≤ ā`` for a *symbol-level* refutation.
+
+    The encoded inequality is an NKA order claim, so the engine's bounded
+    refutation search applies verbatim: a returned word witnesses
+    ``{{p·b̄}}[w] > {{ā}}[w]``, refuting *derivability* of the inequality
+    from the bare axioms — by completeness, some quantum interpretation of
+    the symbols then violates the triple, i.e. the triple has no
+    interpretation-independent justification and genuinely needs its
+    hypotheses (or the semantic check).  A cheap screen before the
+    superoperator machinery runs; ``None`` proves nothing, as the order is
+    undecidable (see :meth:`repro.engine.NKAEngine.leq_refute`).
+    ``engine`` selects the decision session (the process default when
+    omitted), so serving setups can run triple screening in an isolated,
+    warm-startable cache.
+    """
+    from repro.engine import default_engine
+
+    session = engine if engine is not None else default_engine()
+    return session.leq_refute(inequation.lhs, inequation.rhs, max_length=max_length)

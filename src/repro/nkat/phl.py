@@ -25,7 +25,7 @@ symbolic derivations back to Fig. 5.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.axioms import DISTRIB_RIGHT
 from repro.core.expr import Expr, ONE, Symbol, ZERO, sum_of
@@ -41,6 +41,7 @@ __all__ = [
     "derive_r_sc",
     "derive_r_lp",
     "derive_all_rules",
+    "screen_rule_conclusions",
 ]
 
 
@@ -216,4 +217,35 @@ def derive_all_rules() -> Dict[str, CheckedOrderProof]:
         "R.IF": derive_r_if(context, [m0, m1], [p0, p1], [a0, a1], b),
         "R.SC": derive_r_sc(context, p1, p2, a, b, c),
         "R.LP": derive_r_lp(context, p, m0, m1, a, b),
+    }
+
+
+def screen_rule_conclusions(
+    rules: Optional[Dict[str, CheckedOrderProof]] = None,
+    max_length: int = 4,
+    engine=None,
+) -> Dict[str, Optional[Tuple[str, ...]]]:
+    """Cross-check every derived rule's conclusion with the decision engine.
+
+    Each :class:`~repro.core.order.CheckedOrderProof` concludes an NKA
+    inequality; the engine's bounded refutation search must find **no**
+    separating word for an *unconditional* conclusion (a word would mean
+    the order proof derived something the free rational-series model
+    violates — a checker bug).  Conclusions resting on premises (R.OR,
+    R.SC, R.IF, R.LP instantiate schematic programs) may legitimately be
+    refutable at the symbol level, so the sweep returns the witness map and
+    only the axiom rules are asserted clean by the test-suite.  All queries
+    share one engine session — the compile cache makes the sweep touch each
+    distinct effect-symbol automaton once.
+    """
+    from repro.engine import default_engine
+
+    session = engine if engine is not None else default_engine()
+    if rules is None:
+        rules = derive_all_rules()
+    return {
+        name: session.leq_refute(
+            proof.conclusion.lhs, proof.conclusion.rhs, max_length=max_length
+        )
+        for name, proof in rules.items()
     }

@@ -22,9 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.core.decision import nka_equal_detailed
 from repro.core.proof import CheckedProof, Equation
 from repro.core.rewrite import ac_equivalent
+from repro.engine import NKAEngine, default_engine
 from repro.pathmodel.action import action_equal
 from repro.pathmodel.lifting import lift
 from repro.programs.encoder import EncoderSetting, encode
@@ -38,6 +38,7 @@ __all__ = [
     "EquivalenceReport",
     "verify_semantic_equivalence",
     "verify_algebraic_equivalence",
+    "verify_algebraic_equivalence_many",
     "validate_hypotheses",
     "verify_with_proof",
 ]
@@ -68,23 +69,55 @@ def verify_semantic_equivalence(
 
 
 def verify_algebraic_equivalence(
-    left: Program, right: Program, setting: EncoderSetting
+    left: Program,
+    right: Program,
+    setting: EncoderSetting,
+    engine: Optional[NKAEngine] = None,
 ) -> EquivalenceReport:
     """Decide ``⊢NKA Enc(left) = Enc(right)`` (no hypotheses).
 
     Sound and complete for derivability; sound for semantic equality by
     Theorem 1.1.  Note a ``False`` here does *not* refute semantic equality
     — the programs may only be equal under hypotheses about their
-    elementary operations.
+    elementary operations.  ``engine`` selects the decision session (the
+    process default when omitted) so verification workloads can run in an
+    isolated, independently-sized cache.
     """
     left_expr = encode(left, setting)
     right_expr = encode(right, setting)
-    outcome = nka_equal_detailed(left_expr, right_expr)
+    session = engine if engine is not None else default_engine()
+    outcome = session.equal_detailed(left_expr, right_expr)
     return EquivalenceReport(
         equal=outcome.equal,
         method="algebraic",
         detail=outcome.reason,
     )
+
+
+def verify_algebraic_equivalence_many(
+    program_pairs: Sequence[Sequence[Program]],
+    setting: EncoderSetting,
+    engine: Optional[NKAEngine] = None,
+    workers: Optional[int] = None,
+) -> list:
+    """Batched :func:`verify_algebraic_equivalence` over one encoder setting.
+
+    Encodes every pair first (encodings share the setting's symbol table,
+    so common sub-programs intern to the same nodes), then hands the whole
+    batch to the engine's planner: duplicate and symmetric pairs collapse,
+    each distinct encoding compiles once, and ``workers > 1`` fans the
+    independent queries out to process workers.
+    """
+    session = engine if engine is not None else default_engine()
+    encoded = [
+        (encode(left, setting), encode(right, setting))
+        for left, right in program_pairs
+    ]
+    outcomes = session.equal_many_detailed(encoded, workers=workers)
+    return [
+        EquivalenceReport(equal=outcome.equal, method="algebraic", detail=outcome.reason)
+        for outcome in outcomes
+    ]
 
 
 def validate_hypotheses(

@@ -13,8 +13,10 @@ representations the library maintains for such a series:
 Theorem A.6 (Bloom–Ésik / Ésik–Kuich) states NKA is sound and complete for
 rational series: ``⊢NKA e = f  ⟺  {{e}} = {{f}}``.  :meth:`RationalSeries.
 __eq__` decides the right-hand side, hence the left.  Equality and
-coefficient queries are routed through :mod:`repro.core.decision`, so they
-ride the bounded compile/verdict LRUs instead of recompiling per call.
+coefficient queries are routed through an :class:`repro.engine.NKAEngine`
+session — the process default unless one is attached at construction — so
+they ride that session's compile/verdict caches instead of recompiling per
+call, and a serving wrapper can give each tenant its own isolated engine.
 """
 
 from __future__ import annotations
@@ -23,11 +25,10 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 from repro.automata.equivalence import EquivalenceResult
-from repro.automata.wfa import WFA, expr_to_wfa
-from repro.core.decision import coefficient as decide_coefficient
-from repro.core.decision import nka_equal_detailed
+from repro.automata.wfa import WFA
 from repro.core.expr import Expr
 from repro.core.semiring import ExtNat
+from repro.engine import NKAEngine, default_engine
 from repro.series.power_series import TruncatedSeries, series_of_expr
 
 __all__ = ["RationalSeries"]
@@ -35,20 +36,28 @@ __all__ = ["RationalSeries"]
 
 @dataclass
 class RationalSeries:
-    """The rational power series ``{{expr}}`` denoted by an NKA expression."""
+    """The rational power series ``{{expr}}`` denoted by an NKA expression.
+
+    ``engine`` pins the series to a specific decision session; ``None``
+    means the process default.  Series tied to different engines can be
+    compared — the left-hand side's session does the work (and caches the
+    verdict).
+    """
 
     expr: Expr
-    _wfa: Optional[WFA] = field(default=None, repr=False)
+    engine: Optional[NKAEngine] = field(default=None, repr=False, compare=False)
+
+    def _engine(self) -> NKAEngine:
+        return self.engine if self.engine is not None else default_engine()
 
     @property
     def automaton(self) -> WFA:
-        if self._wfa is None:
-            self._wfa = expr_to_wfa(self.expr)
-        return self._wfa
+        """The compiled automaton, through the session's compile cache."""
+        return self._engine().compile(self.expr)
 
     def coefficient(self, word: Sequence[str]) -> ExtNat:
         """``{{expr}}[word]``, exact in ``N̄`` (cached compiled automaton)."""
-        return decide_coefficient(self.expr, tuple(word))
+        return self._engine().coefficient(self.expr, tuple(word))
 
     def truncate(self, max_length: int) -> TruncatedSeries:
         """All coefficients up to ``max_length`` via the direct evaluator."""
@@ -57,11 +66,11 @@ class RationalSeries:
     def equivalence(self, other: "RationalSeries") -> EquivalenceResult:
         """Decide series equality with a witness on failure.
 
-        Delegates to the decision pipeline, sharing its compile and verdict
-        caches: comparing one series against many others compiles each
-        automaton once.
+        Delegates to the session's decision pipeline, sharing its compile
+        and verdict caches: comparing one series against many others
+        compiles each automaton once.
         """
-        return nka_equal_detailed(self.expr, other.expr)
+        return self._engine().equal_detailed(self.expr, other.expr)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RationalSeries):

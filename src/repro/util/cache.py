@@ -1,11 +1,22 @@
-"""Bounded LRU caches with inspectable statistics.
+"""Bounded LRU caches with inspectable statistics, grouped in registries.
 
 Every memo table in the compile pipeline (``Expr → flatten → expr_to_wfa →
-wfa_equivalent``) is an :class:`LRUCache` registered here, so long-lived
-processes can inspect hit rates (:func:`all_cache_stats`) and release memory
-deterministically (:func:`clear_all_caches`) through one façade —
-re-exported as :func:`repro.core.decision.cache_stats` /
-:func:`repro.core.decision.clear_caches`.
+wfa_equivalent``) is an :class:`LRUCache` registered in a
+:class:`CacheRegistry`, so long-lived processes can inspect hit rates
+(:meth:`CacheRegistry.stats`) and release memory deterministically
+(:meth:`CacheRegistry.clear`) through one façade.
+
+Two scopes of registry exist:
+
+* the **process registry** (module-level :func:`all_cache_stats` /
+  :func:`clear_all_caches`, re-exported as
+  :func:`repro.core.decision.cache_stats` /
+  :func:`repro.core.decision.clear_caches`) holds the pure, process-wide
+  memos — ``rewrite.flatten``, ``wfa.fragments``, ``expr.alphabet`` — plus
+  the caches of the *default* engine session;
+* each :class:`repro.engine.NKAEngine` owns a **private**
+  :class:`CacheRegistry` for its compile/verdict caches, so multiple
+  isolated sessions coexist in one process without sharing verdicts.
 
 Unlike :func:`functools.lru_cache` this works on caches keyed by
 *identities* of hash-consed expressions (see :mod:`repro.core.expr`), keeps
@@ -20,10 +31,12 @@ from typing import Any, Callable, Dict, Hashable, Optional
 
 __all__ = [
     "CacheStats",
+    "CacheRegistry",
     "LRUCache",
     "all_cache_stats",
     "clear_all_caches",
     "lookup_cache",
+    "process_registry",
     "register_stats_provider",
 ]
 
@@ -52,7 +65,61 @@ class CacheStats:
         )
 
 
-_REGISTRY: "OrderedDict[str, LRUCache]" = OrderedDict()
+class CacheRegistry:
+    """A named group of caches with aggregate stats and bulk clearing.
+
+    Bounded :class:`LRUCache` instances register themselves here (at
+    construction via the ``registry`` argument, or later via
+    :meth:`register`); external non-LRU tables — e.g. the weak hash-consing
+    registries of :mod:`repro.core.expr` / :mod:`repro.core.rewrite` — can
+    expose read-only counters through :meth:`register_stats_provider`.
+    Providers appear in :meth:`stats` next to the bounded memos, but
+    :meth:`clear` leaves them alone: their entries are weak (they vanish
+    with their last strong reference), and clearing an intern table would
+    mint fresh twins of still-live nodes and break the identity invariant
+    every downstream memo relies on.
+    """
+
+    __slots__ = ("name", "_caches", "_providers")
+
+    def __init__(self, name: str = "default"):
+        self.name = name
+        self._caches: "OrderedDict[str, LRUCache]" = OrderedDict()
+        self._providers: "OrderedDict[str, Callable[[], CacheStats]]" = OrderedDict()
+
+    def register(self, cache: "LRUCache") -> "LRUCache":
+        """Adopt a cache (one cache may live in several registries)."""
+        self._caches[cache.name] = cache
+        return cache
+
+    def register_stats_provider(
+        self, name: str, provider: Callable[[], CacheStats]
+    ) -> None:
+        """Expose an external (non-LRU) table's counters in :meth:`stats`."""
+        self._providers[name] = provider
+
+    def lookup(self, name: str) -> Optional["LRUCache"]:
+        """The registered cache of that name, or ``None``."""
+        return self._caches.get(name)
+
+    def stats(self) -> Dict[str, CacheStats]:
+        """Snapshot of every registered cache and provider, keyed by name."""
+        stats = {name: cache.stats() for name, cache in self._caches.items()}
+        for name, provider in self._providers.items():
+            stats[name] = provider()
+        return stats
+
+    def clear(self, reset_stats: bool = False) -> None:
+        """Empty every registered LRU cache (a pure memo reset).
+
+        Stats providers are intentionally untouched — see the class
+        docstring.
+        """
+        for cache in self._caches.values():
+            cache.clear(reset_stats=reset_stats)
+
+
+_PROCESS_REGISTRY = CacheRegistry("process")
 
 
 class LRUCache:
@@ -65,7 +132,13 @@ class LRUCache:
 
     __slots__ = ("name", "_maxsize", "_data", "hits", "misses", "evictions")
 
-    def __init__(self, name: str, maxsize: int, register: bool = True):
+    def __init__(
+        self,
+        name: str,
+        maxsize: int,
+        register: bool = True,
+        registry: Optional[CacheRegistry] = None,
+    ):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.name = name
@@ -74,8 +147,10 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        if register:
-            _REGISTRY[name] = self
+        if registry is not None:
+            registry.register(self)
+        elif register:
+            _PROCESS_REGISTRY.register(self)
 
     # -- mapping operations ---------------------------------------------------
 
@@ -103,6 +178,14 @@ class LRUCache:
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
+
+    def items(self) -> list:
+        """Entries ordered least- to most-recently used (no recency effects).
+
+        Used by the engine's warm-state export: replaying the list through
+        ``put`` on a fresh cache reproduces this cache's eviction order.
+        """
+        return list(self._data.items())
 
     # -- management -----------------------------------------------------------
 
@@ -135,43 +218,39 @@ class LRUCache:
         )
 
 
+def process_registry() -> CacheRegistry:
+    """The process-wide registry of pure pipeline memos (+ default session)."""
+    return _PROCESS_REGISTRY
+
+
 def lookup_cache(name: str) -> Optional[LRUCache]:
-    """The registered cache of that name, or ``None``."""
-    return _REGISTRY.get(name)
-
-
-# Read-only stats providers for tables that are not LRU caches — e.g. the
-# weak hash-consing registries of repro.core.expr / repro.core.rewrite.
-# They appear in all_cache_stats() next to the bounded memos, but
-# clear_all_caches() leaves them alone: entries are weak (they vanish with
-# their last strong reference), and clearing an intern table would mint
-# fresh twins of still-live nodes and break the identity invariant every
-# downstream memo relies on.
-_STATS_PROVIDERS: "OrderedDict[str, Callable[[], CacheStats]]" = OrderedDict()
+    """The cache of that name in the process registry, or ``None``."""
+    return _PROCESS_REGISTRY.lookup(name)
 
 
 def register_stats_provider(name: str, provider: Callable[[], CacheStats]) -> None:
     """Expose an external (non-LRU) table's counters in :func:`all_cache_stats`."""
-    _STATS_PROVIDERS[name] = provider
+    _PROCESS_REGISTRY.register_stats_provider(name, provider)
 
 
 def all_cache_stats() -> Dict[str, CacheStats]:
-    """Snapshot of every registered pipeline cache, keyed by name.
+    """Snapshot of every cache in the process registry, keyed by name.
 
     Includes the bounded LRU memos plus any registered read-only providers
     (weak intern tables report ``maxsize=0`` — unbounded, never cleared).
+    Caches private to a non-default :class:`repro.engine.NKAEngine` are
+    *not* listed here — ask the engine's own :meth:`~repro.engine.NKAEngine.
+    stats` instead.
     """
-    stats = {name: cache.stats() for name, cache in _REGISTRY.items()}
-    for name, provider in _STATS_PROVIDERS.items():
-        stats[name] = provider()
-    return stats
+    return _PROCESS_REGISTRY.stats()
 
 
 def clear_all_caches(reset_stats: bool = False) -> None:
-    """Empty every registered LRU cache (safe at any point; purely a memo reset).
+    """Empty every LRU cache in the process registry (purely a memo reset).
 
     Weak intern tables registered via :func:`register_stats_provider` are
-    intentionally not touched — see the note above the provider registry.
+    intentionally not touched — see :class:`CacheRegistry`.  Private engine
+    registries are likewise untouched; clear those through the owning
+    engine.
     """
-    for cache in _REGISTRY.values():
-        cache.clear(reset_stats=reset_stats)
+    _PROCESS_REGISTRY.clear(reset_stats=reset_stats)
