@@ -4,23 +4,29 @@ Run: ``PYTHONPATH=src python examples/engine_serving.py``
 
 A production verifier answers *streams* of equality queries — axiom sweeps,
 normal-form checks, compiler-rule validation — not one-off calls.  This
-example walks the three levers :class:`repro.engine.NKAEngine` adds:
+example walks the levers :class:`repro.engine.NKAEngine` adds:
 
 1. **isolated sessions** — per-tenant caches in one process;
-2. **batch planning + workers** — dedupe, cheapest-first ordering, process
-   parallelism, all without changing a single verdict;
-3. **persistent warm start** — serialize the caches, reload in a fresh
-   session (or a fresh process) and answer a known workload with zero
-   compilations.
+2. **a persistent worker pool** — forked once per engine, surviving across
+   batches, feeding compiled automata back to the parent over the
+   warm-back channel, and torn down deterministically by the context
+   manager;
+3. **lifecycle under failure** — a SIGKILLed worker is replaced without
+   changing a verdict;
+4. **persistent warm start** — serialize the caches (including what the
+   *workers* compiled), reload in a fresh session or process, and answer a
+   known workload with zero compilations.
 """
 
 import os
 import random
+import signal
 import tempfile
 import time
 
 from repro import NKAEngine, parse
 from repro.core.expr import Expr, Product, Star, Sum, Symbol
+from repro.engine import describe_warm_state
 
 
 def section(title: str) -> None:
@@ -59,39 +65,70 @@ def main() -> None:
     print(f"  tenant-a decisions: {tenant_a.stats()['decisions']}, "
           f"tenant-b decisions: {tenant_b.stats()['decisions']} (isolated)")
 
-    section("2. Batch planning and parallel execution")
-    batch = make_workload()
-    engine = NKAEngine("serving", workers=4)
-    started = time.perf_counter()
-    verdicts = engine.equal_many(batch)          # planned + executed
-    elapsed = time.perf_counter() - started
-    stats = engine.stats()
-    planner = stats["planner"]
-    print(f"  {len(batch)} queries answered in {elapsed * 1000:.1f} ms "
-          f"({sum(verdicts)} equal)")
-    print(f"  planner: {planner['tasks']} tasks after dedupe "
-          f"(ratio {planner['dedupe_ratio']:.0%}: {planner['pointer_equal']} "
-          f"pointer-equal, {planner['duplicates']} duplicates, "
-          f"{planner['verdict_cache_hits']} cache hits)")
-    print(f"  executor: {stats['last_batch']['executor']}")
-
-    # Re-asking the same batch is pure cache traffic — zero new tasks.
-    engine.equal_many(batch)
-    print(f"  re-ask: {engine.stats()['last_batch']['planner']['tasks']} tasks "
-          f"(everything answered from the verdict cache)")
-
-    section("3. Warm start across sessions/processes")
+    section("2. A persistent pool serving consecutive batches")
     state_path = os.path.join(tempfile.gettempdir(), "nka-warm-example.pickle")
-    engine.save_warm_state(state_path)
-    print(f"  saved {os.path.getsize(state_path)} bytes of warm state")
+    batch = make_workload()
+    second_batch = make_workload(seed=23)
+    with NKAEngine("serving", workers=4) as engine:
+        started = time.perf_counter()
+        verdicts = engine.equal_many(batch)          # planned + pooled
+        elapsed = time.perf_counter() - started
+        stats = engine.stats()
+        planner = stats["planner"]
+        print(f"  {len(batch)} queries answered in {elapsed * 1000:.1f} ms "
+              f"({sum(verdicts)} equal)")
+        print(f"  planner: {planner['tasks']} tasks after dedupe "
+              f"(ratio {planner['dedupe_ratio']:.0%}: {planner['pointer_equal']} "
+              f"pointer-equal, {planner['duplicates']} duplicates, "
+              f"{planner['verdict_cache_hits']} cache hits)")
+        print(f"  executor: {stats['last_batch']['executor']}")
+        if engine.pool_stats():
+            print(f"  pool: {engine.pool_stats()}")
+            print(f"  warm-back: {stats['warm_back']['merged']} worker-compiled "
+                  f"WFAs merged into the parent cache "
+                  f"(parent compiled {stats['compilations']})")
 
-    fresh = NKAEngine("fresh-replica", warm_state=state_path)
-    started = time.perf_counter()
-    warm_verdicts = fresh.equal_many(batch)
-    elapsed = time.perf_counter() - started
-    print(f"  fresh replica answered the batch in {elapsed * 1000:.2f} ms with "
-          f"{fresh.stats()['compilations']} compilations")
-    assert warm_verdicts == verdicts
+        # The second batch reuses the same live workers — no fork cost —
+        # and everything warm-backed from batch 1 is already cached.
+        started = time.perf_counter()
+        engine.equal_many(second_batch)
+        elapsed = time.perf_counter() - started
+        lifetime = engine.stats()["executor"]
+        print(f"  second batch: {elapsed * 1000:.1f} ms on the same workers "
+              f"(lifetime: {lifetime['batches']} batches, "
+              f"{lifetime['tasks_executed']} tasks, "
+              f"{lifetime['worker_restarts']} restarts)")
+
+        section("3. Worker death is invisible in the verdicts")
+        pids = engine.worker_pids()
+        if pids:
+            os.kill(pids[0], signal.SIGKILL)
+            print(f"  SIGKILLed worker {pids[0]}")
+        replay = engine.equal_many(batch)            # all verdict-cache hits
+        third = engine.equal_many(make_workload(seed=47))
+        print(f"  replay identical: {replay == verdicts}; fresh batch of "
+              f"{len(third)} decided; restarts now: "
+              f"{engine.stats()['executor']['worker_restarts']}")
+
+        engine.save_warm_state(state_path)
+        print(f"  saved {os.path.getsize(state_path)} bytes of warm state")
+    print("  context exit: pool workers joined and reaped "
+          "(engine.worker_pids() == [])")
+
+    section("4. Warm start across sessions/processes")
+    info = describe_warm_state(state_path)
+    print(f"  state describes itself: {info['wfa_entries']} WFAs "
+          f"({info['meta']['warmback_merged']} from workers, "
+          f"{info['meta']['parent_compilations']} from the parent), "
+          f"{info['verdict_entries']} verdicts, fresh={info['fresh']}")
+
+    with NKAEngine("fresh-replica", warm_state=state_path) as fresh:
+        started = time.perf_counter()
+        warm_verdicts = fresh.equal_many(batch)
+        elapsed = time.perf_counter() - started
+        print(f"  fresh replica answered the batch in {elapsed * 1000:.2f} ms "
+              f"with {fresh.stats()['compilations']} compilations")
+        assert warm_verdicts == verdicts
 
     # Stale states are rejected cleanly — serving wrappers fall back cold:
     from repro.engine import StaleWarmStateError, load_warm_state, save_warm_state
@@ -107,11 +144,6 @@ def main() -> None:
     print(f"  lax mode starts cold instead: "
           f"{survivor.stats()['warm_start']['verdicts_loaded']} verdicts loaded")
     os.unlink(state_path)
-
-    print("\n  Full metrics are one call away (engine.stats_json()):")
-    for line in fresh.stats_json().splitlines()[:12]:
-        print(f"    {line}")
-    print("    …")
 
 
 if __name__ == "__main__":

@@ -7,9 +7,14 @@ Public surface:
   unified metrics (:mod:`repro.engine.core`);
 * :func:`default_engine` — the process-wide session backing the classic
   :mod:`repro.core.decision` module-level API;
+* the persistent worker pool — :class:`~repro.engine.pool.WorkerPool`:
+  one set of processes per engine, surviving across batches, recycled on
+  worker death or pipeline-fingerprint change, returning compile results
+  over a warm-back channel that feeds the parent's WFA cache
+  (:mod:`repro.engine.pool`);
 * the persistence layer — :class:`WarmState`, :func:`pipeline_fingerprint`,
-  :class:`WarmStateError` / :class:`StaleWarmStateError`
-  (:mod:`repro.engine.persist`);
+  :class:`WarmStateError` / :class:`StaleWarmStateError`,
+  :func:`describe_warm_state` (:mod:`repro.engine.persist`);
 * planner/executor introspection types for tooling —
   :class:`~repro.engine.planner.BatchPlan`,
   :class:`~repro.engine.executor.ExecutionReport`.
@@ -18,14 +23,17 @@ Typical serve-mode use::
 
     from repro.engine import NKAEngine
 
-    engine = NKAEngine("serving", workers=4)
-    verdicts = engine.equal_many(batch_of_pairs)      # planned + parallel
-    engine.save_warm_state("nka-warm.pickle")         # after warm-up
+    with NKAEngine("serving", workers=4) as engine:
+        verdicts = engine.equal_many(batch_of_pairs)  # planned + pooled
+        more = engine.equal_many(next_batch)          # same warm workers
+        engine.save_warm_state("nka-warm.pickle")     # incl. warm-back
+    # pool workers joined and reaped here
     ...
-    engine = NKAEngine("serving", warm_state="nka-warm.pickle")
-    verdicts = engine.equal_many(batch_of_pairs)      # zero compilations
+    with NKAEngine("serving", warm_state="nka-warm.pickle") as engine:
+        verdicts = engine.equal_many(batch_of_pairs)  # zero compilations
 
-See ``examples/engine_serving.py`` for the full walkthrough.
+See ``examples/engine_serving.py`` for the full walkthrough and
+``src/repro/engine/README.md`` for pool lifecycle + warm-back semantics.
 """
 
 from repro.engine.core import NKAEngine, default_engine, words_up_to
@@ -34,11 +42,19 @@ from repro.engine.persist import (
     StaleWarmStateError,
     WarmState,
     WarmStateError,
+    describe_warm_state,
     load_warm_state,
     pipeline_fingerprint,
     save_warm_state,
 )
-from repro.engine.planner import BatchPlan, PlannedQuery, PlanStats, plan_batch
+from repro.engine.planner import (
+    BatchPlan,
+    PlannedQuery,
+    PlanStats,
+    chunk_tasks,
+    plan_batch,
+)
+from repro.engine.pool import WorkerPool, pool_context
 
 __all__ = [
     "NKAEngine",
@@ -50,10 +66,14 @@ __all__ = [
     "PlannedQuery",
     "PlanStats",
     "plan_batch",
+    "chunk_tasks",
+    "WorkerPool",
+    "pool_context",
     "WarmState",
     "WarmStateError",
     "StaleWarmStateError",
     "pipeline_fingerprint",
     "save_warm_state",
     "load_warm_state",
+    "describe_warm_state",
 ]

@@ -44,6 +44,7 @@ from repro.core.expr import Expr, alphabet
 from repro.core.semiring import ExtNat
 from repro.engine.executor import ExecutionReport, execute_tasks
 from repro.engine.planner import IDENTICAL_RESULT, PlanStats, plan_batch
+from repro.engine.pool import WorkerPool
 from repro.engine.persist import (
     StaleWarmStateError,
     WarmState,
@@ -67,7 +68,17 @@ class NKAEngine:
         wfa_capacity / result_capacity: LRU bounds of the session's compile
             and verdict caches.
         workers: default worker count for :meth:`equal_many` (overridable
-            per call); ``1`` means in-process sequential execution.
+            per call); ``1`` means in-process sequential execution.  The
+            first parallel batch starts a **persistent**
+            :class:`~repro.engine.pool.WorkerPool` owned by this engine:
+            workers survive across batches (keeping their compile memos
+            warm), are replaced transparently if they die, and are recycled
+            wholesale when the pipeline fingerprint changes mid-session.
+            Call :meth:`close` — or use the engine as a context manager —
+            to shut the pool down deterministically.
+        start_method: multiprocessing start method for the pool (``fork``/
+            ``spawn``/``forkserver``); default prefers ``fork``, overridable
+            process-wide via ``REPRO_ENGINE_START_METHOD``.
         warm_state: a :class:`~repro.engine.persist.WarmState`, or a path to
             one, to preload the caches from.  Stale state (pipeline
             fingerprint mismatch) raises
@@ -92,6 +103,7 @@ class NKAEngine:
         wfa_capacity: int = 4096,
         result_capacity: int = 8192,
         workers: int = 1,
+        start_method: Optional[str] = None,
         warm_state: Union[None, str, WarmState] = None,
         strict_warm_state: bool = True,
         cache_namespace: Optional[str] = None,
@@ -113,7 +125,13 @@ class NKAEngine:
             process_registry().register(self._wfa)
             process_registry().register(self._results)
         self.workers = max(1, int(workers))
+        self._start_method = start_method
+        self._pool: Optional[WorkerPool] = None
         self._lock = threading.RLock()
+        # Serialises batch execution: the pool's shared queues carry one
+        # batch at a time (interleaving two would interleave their
+        # warm-back accounting); cache reads/writes stay under _lock.
+        self._exec_lock = threading.Lock()
         self._compilations = 0
         self._decisions = 0
         self._batches = 0
@@ -123,8 +141,20 @@ class NKAEngine:
         self._plan_seconds = 0.0
         self._execute_seconds = 0.0
         self._last_batch: Optional[Dict[str, object]] = None
+        self._reset_lifetime_executor_stats()
         if warm_state is not None:
             self.load_warm_state(warm_state, strict=strict_warm_state)
+
+    def _reset_lifetime_executor_stats(self) -> None:
+        self._tasks_executed = 0
+        self._sequential_batches = 0
+        self._pooled_batches = 0
+        self._worker_restarts = 0
+        self._pool_recycles = 0
+        self._fallback_tasks = 0
+        self._warmback_returned = 0
+        self._warmback_merged = 0
+        self._warmback_skipped = 0
 
     # -- single-query API --------------------------------------------------
 
@@ -199,21 +229,44 @@ class NKAEngine:
         plan_started = time.perf_counter()
         plan = plan_batch(pairs, self._cached_verdict)
         plan_seconds = time.perf_counter() - plan_started
-        verdicts, report = execute_tasks(
-            plan,
-            effective_workers,
-            sequential_decide=self._decide_into_caches,
-        )
+        with self._exec_lock:
+            verdicts, report, warmback = execute_tasks(
+                plan,
+                effective_workers,
+                sequential_decide=self._decide_into_caches,
+                pool_provider=self._ensure_pool,
+            )
         # Merge in task-id order: deterministic cache state regardless of
-        # scheduling (process workers return verdicts in arbitrary order).
+        # scheduling (pool workers return verdicts in arbitrary order).
+        # Tasks the pool's in-process fallback decided already went through
+        # _store_verdict — storing them again would double-count
+        # `decisions`.
         for task in plan.tasks:
             result = verdicts[task.task_id]
-            if report.mode != "sequential":
+            if (
+                report.mode != "sequential"
+                and task.task_id not in report.fallback_task_ids
+            ):
                 self._store_verdict(task.left, task.right, result)
             for position in task.positions:
                 plan.results[position] = result
         with self._lock:
+            # Warm-back merge: worker-compiled automata join this session's
+            # cache (bounded by the LRU, deduped by interned node) so the
+            # next batch — and save_warm_state — see the parallel batch's
+            # compilations exactly as if the parent had done the work.
+            merged, skipped = self._wfa.merge_items(warmback, skip_existing=True)
+            self._warmback_returned += len(warmback)
+            self._warmback_merged += merged
+            self._warmback_skipped += skipped
             self._batches += 1
+            self._tasks_executed += report.tasks
+            if report.mode == "sequential":
+                self._sequential_batches += 1
+            else:
+                self._pooled_batches += 1
+            self._worker_restarts += report.restarts
+            self._fallback_tasks += report.fallback_tasks
             self._plan_seconds += plan_seconds
             self._execute_seconds += report.wall_seconds
             self._accumulate_plan_stats(plan.stats)
@@ -254,7 +307,95 @@ class NKAEngine:
         totals.distinct_expressions += stats.distinct_expressions
         totals.shared_expression_groups += stats.shared_expression_groups
 
+    # -- worker-pool lifecycle ---------------------------------------------
+
+    def _ensure_pool(self, workers: int) -> WorkerPool:
+        """The engine's persistent pool, started/recycled as needed.
+
+        Called by the executor once it has committed to the pool path.
+        The pool is pinned to the pipeline fingerprint it started under;
+        if the fingerprint has changed since (hot code reload, test
+        shims), the stale pool is closed and a fresh one spawned — its
+        workers would otherwise keep serving automata compiled by a
+        pipeline that no longer exists.
+        """
+        current_fingerprint = pipeline_fingerprint()
+        with self._lock:
+            if (
+                self._pool is not None
+                and self._pool.fingerprint != current_fingerprint
+            ):
+                stale, self._pool = self._pool, None
+                self._pool_recycles += 1
+            else:
+                stale = None
+            pool = self._pool
+        if stale is not None:
+            stale.close()
+        if pool is None or pool.closed:
+            # Construct outside the engine lock: pool start-up can take
+            # seconds under `spawn`, and other threads must stay free to
+            # hit the caches meanwhile.  Callers are serialised by
+            # _exec_lock, so no second constructor can race this one.
+            pool = WorkerPool(
+                workers,
+                current_fingerprint,
+                start_method=self._start_method,
+                # Workers bound their compile memos the same way the
+                # parent bounds its WFA cache.
+                memo_capacity=self._wfa.maxsize,
+            )
+            with self._lock:
+                self._pool = pool
+        else:
+            pool.ensure_size(workers)
+        return pool
+
+    def recycle_pool(self) -> None:
+        """Shut the current pool down; the next parallel batch restarts it.
+
+        Used by benchmarks to measure pool start-up cost, and available to
+        serving wrappers that want to rotate workers (e.g. after a memory
+        watermark).  Verdicts are unaffected — only wall-clock changes.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def close(self) -> None:
+        """Release this session's process resources (idempotent).
+
+        Joins and reaps every pool worker, leaving no child processes
+        behind.  The engine itself stays usable — caches survive, and a
+        later parallel batch simply starts a fresh pool — so ``close`` is
+        safe to call eagerly whenever parallel work pauses.
+        """
+        self.recycle_pool()
+
+    def __enter__(self) -> "NKAEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def pool_stats(self) -> Optional[Dict[str, object]]:
+        """Live pool topology (``None`` before the first parallel batch)."""
+        with self._lock:
+            return None if self._pool is None else self._pool.stats()
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of live pool workers (empty when no pool is running)."""
+        with self._lock:
+            return [] if self._pool is None else self._pool.worker_pids()
+
     # -- auxiliary queries -------------------------------------------------
+
+    def has_wfa(self, expr: Expr) -> bool:
+        """Whether ``expr``'s automaton is in the session cache (no recency
+        effect, no compile) — warm-back observability for tests/tools."""
+        with self._lock:
+            return expr in self._wfa
 
     def coefficient(self, expr: Expr, word: Sequence[str]) -> ExtNat:
         """The coefficient ``{{expr}}[word]`` via the cached automaton.
@@ -304,6 +445,7 @@ class NKAEngine:
                 self._plan_seconds = 0.0
                 self._execute_seconds = 0.0
                 self._last_batch = None
+                self._reset_lifetime_executor_stats()
 
     def configure(
         self,
@@ -331,6 +473,11 @@ class NKAEngine:
         ``caches`` are this session's LRU counters; ``planner`` aggregates
         dedupe counters over all batches (``dedupe_ratio`` = fraction of
         batch positions answered without a fresh automaton-level task);
+        ``executor`` accumulates *lifetime* totals — batches by mode, tasks
+        executed, worker restarts, pool recycles — so long-lived serving
+        metrics never reset per batch (the old report only carried the
+        last batch's executor timings); ``warm_back`` counts worker
+        compilations returned/merged into this session's cache;
         ``timings`` separate planning from execution; ``last_batch`` keeps
         the most recent batch's full breakdown for live dashboards.
         """
@@ -348,7 +495,22 @@ class NKAEngine:
                     "wfas_loaded": self._warm_wfas,
                     "verdicts_loaded": self._warm_verdicts,
                 },
+                "warm_back": {
+                    "returned": self._warmback_returned,
+                    "merged": self._warmback_merged,
+                    "skipped": self._warmback_skipped,
+                },
                 "planner": self._plan_totals.as_dict(),
+                "executor": {
+                    "batches": self._batches,
+                    "sequential_batches": self._sequential_batches,
+                    "pooled_batches": self._pooled_batches,
+                    "tasks_executed": self._tasks_executed,
+                    "worker_restarts": self._worker_restarts,
+                    "pool_recycles": self._pool_recycles,
+                    "fallback_tasks": self._fallback_tasks,
+                    "pool": None if self._pool is None else self._pool.stats(),
+                },
                 "timings": {
                     "plan_seconds": round(self._plan_seconds, 6),
                     "execute_seconds": round(self._execute_seconds, 6),
@@ -381,6 +543,11 @@ class NKAEngine:
                 "engine": self.name,
                 "wfa_entries": len(wfas),
                 "verdict_entries": len(verdicts),
+                # Provenance: how much of the compile cache arrived over the
+                # pool's warm-back channel rather than parent compilation —
+                # a parallel warm-up persists its workers' compilations too.
+                "warmback_merged": self._warmback_merged,
+                "parent_compilations": self._compilations,
             },
         )
 

@@ -1,4 +1,4 @@
-"""Parallel execution of planned query batches.
+"""Execution of planned query batches on a persistent worker pool.
 
 Automata compilation and Tzeng's algorithm are *pure* once the inputs are
 interned: a planned query's verdict depends only on its two expressions, so
@@ -11,41 +11,41 @@ Worker model
 ------------
 
 CPython's GIL makes threads useless for this CPU-bound work, so real
-parallelism uses **process** workers (``concurrent.futures``, preferring
-the ``fork`` start method where available — forked children inherit the
-parent's warm intern tables and fragment memos for free; under ``spawn``
-the expressions re-intern on unpickling, which costs a little more but
-changes nothing).  Tasks are shipped as whole *sharing groups*
-(:func:`repro.engine.planner.plan_batch` groups tasks connected by shared
-subexpressions) bin-packed onto workers cheapest-group-last, so every
-distinct expression is compiled in exactly one worker process.
+parallelism uses **process** workers.  Unlike the old per-batch
+``ProcessPoolExecutor`` (fork + import + teardown on every ``equal_many``),
+tasks are now submitted to the engine's **persistent**
+:class:`~repro.engine.pool.WorkerPool`: workers start once per engine,
+keep their compile memos across batches, and return ``(expression, WFA)``
+warm-back entries alongside verdicts so the parent's cache warms too —
+see :mod:`repro.engine.pool` for the pool's failure model and lifecycle.
 
-Each worker keeps a per-call compile memo; results come back as plain
-:class:`~repro.automata.equivalence.EquivalenceResult` values (cheap to
-pickle) tagged with the task id, and the parent merges them by id — the
-orderless part of the computation never leaks into the output.
+Tasks travel as steal-friendly *chunks*
+(:func:`repro.engine.planner.chunk_tasks`): each chunk holds whole sharing
+groups (every distinct expression compiles in exactly one process), and
+idle workers pull the next chunk off a shared queue, so load balances
+dynamically instead of by static assignment.
 
-A worker count of 0/1 — or a task list too small to amortise pool start-up
+A worker count of 0/1 — or a task list too small to amortise queue traffic
 — degrades to an in-process loop over the same pure function, so results
 are byte-identical across every configuration by construction.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.automata.equivalence import EquivalenceResult, wfa_equivalent
 from repro.automata.wfa import WFA, expr_to_wfa
 from repro.core.expr import Expr
-from repro.engine.planner import BatchPlan, PlannedQuery
+from repro.engine.planner import BatchPlan, chunk_tasks
+from repro.engine.pool import WorkerPool
 
 __all__ = ["ExecutionReport", "decide_pure", "execute_tasks"]
 
-# Below this many tasks a process pool costs more than it saves.
+# Below this many tasks, queue round-trips cost more than they save — the
+# batch degrades to the in-process path even when a pool is running.
 MIN_TASKS_FOR_POOL = 8
 
 
@@ -56,9 +56,13 @@ class ExecutionReport:
         "workers",
         "mode",
         "tasks",
+        "chunks",
         "wall_seconds",
         "worker_seconds",
-        "max_bucket_seconds",
+        "max_chunk_seconds",
+        "restarts",
+        "fallback_task_ids",
+        "warmback_returned",
     )
 
     def __init__(
@@ -68,23 +72,39 @@ class ExecutionReport:
         tasks: int,
         wall_seconds: float,
         worker_seconds: float,
-        max_bucket_seconds: float,
+        max_chunk_seconds: float,
+        chunks: int = 0,
+        restarts: int = 0,
+        fallback_task_ids: Optional[set] = None,
+        warmback_returned: int = 0,
     ):
         self.workers = workers
         self.mode = mode
         self.tasks = tasks
+        self.chunks = chunks
         self.wall_seconds = wall_seconds
         self.worker_seconds = worker_seconds
-        self.max_bucket_seconds = max_bucket_seconds
+        self.max_chunk_seconds = max_chunk_seconds
+        self.restarts = restarts
+        self.fallback_task_ids = fallback_task_ids or set()
+        self.warmback_returned = warmback_returned
+
+    @property
+    def fallback_tasks(self) -> int:
+        return len(self.fallback_task_ids)
 
     def as_dict(self) -> Dict[str, float]:
         return {
             "workers": self.workers,
             "mode": self.mode,
             "tasks": self.tasks,
+            "chunks": self.chunks,
             "wall_seconds": round(self.wall_seconds, 6),
             "worker_seconds": round(self.worker_seconds, 6),
-            "max_bucket_seconds": round(self.max_bucket_seconds, 6),
+            "max_chunk_seconds": round(self.max_chunk_seconds, 6),
+            "restarts": self.restarts,
+            "fallback_tasks": self.fallback_tasks,
+            "warmback_returned": self.warmback_returned,
         }
 
 
@@ -93,7 +113,7 @@ def decide_pure(
 ) -> EquivalenceResult:
     """Decide one pair from scratch — the single source of truth for tasks.
 
-    Both the sequential fallback and every process worker run exactly this
+    Both the sequential fallback and every pool worker run exactly this
     function (each side compiled over its own alphabet), which is why
     verdicts cannot depend on the execution topology.
     """
@@ -110,78 +130,40 @@ def decide_pure(
     return wfa_equivalent(left_wfa, right_wfa)
 
 
-def _run_bucket(
-    items: Sequence[Tuple[int, Expr, Expr]]
-) -> Tuple[List[Tuple[int, EquivalenceResult]], float]:
-    """Worker entry point: decide a bucket, reusing compilations within it."""
-    started = time.perf_counter()
-    memo: Dict[Expr, WFA] = {}
-    results = [
-        (task_id, decide_pure(left, right, memo)) for task_id, left, right in items
-    ]
-    return results, time.perf_counter() - started
-
-
-def _pool_context():
-    """Prefer ``fork`` (inherits warm memo tables); fall back to the default."""
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context()
-
-
-def _buckets_for(
-    plan: BatchPlan, workers: int
-) -> List[List[PlannedQuery]]:
-    """Bin-pack sharing groups onto workers by estimated cost (LPT greedy).
-
-    Groups — not individual tasks — are the unit, so tasks that share an
-    expression always land in the same process and compile it once.  Within
-    a bucket, tasks keep the planner's cheapest-first order.
-    """
-    by_id = {task.task_id: task for task in plan.tasks}
-    groups = sorted(
-        plan.groups,
-        key=lambda group: (-sum(by_id[task_id].cost for task_id in group), group[0]),
-    )
-    buckets: List[List[PlannedQuery]] = [[] for _ in range(workers)]
-    loads = [0] * workers
-    for group in groups:
-        slot = loads.index(min(loads))
-        buckets[slot].extend(by_id[task_id] for task_id in group)
-        loads[slot] += sum(by_id[task_id].cost for task_id in group)
-    for bucket in buckets:
-        bucket.sort(key=lambda task: task.task_id)
-    return [bucket for bucket in buckets if bucket]
-
-
 def execute_tasks(
     plan: BatchPlan,
     workers: int,
     sequential_decide=None,
-) -> Tuple[Dict[int, EquivalenceResult], ExecutionReport]:
-    """Run every planned task; return verdicts keyed by task id + a report.
+    pool_provider: Optional[Callable[[int], WorkerPool]] = None,
+) -> Tuple[Dict[int, EquivalenceResult], ExecutionReport, List[Tuple[Expr, WFA]]]:
+    """Run every planned task; verdicts keyed by task id + report + warm-back.
 
     When the batch degrades to the in-process path, ``sequential_decide``
     (the engine's cache-backed decide, typically) runs each task so
-    compiled automata land in the engine's compile cache; process workers
-    instead keep per-process memos, and the parent's caches are *not*
-    touched here — the owning engine merges the returned verdicts, so
-    cache state after a batch is deterministic (task-id order) no matter
-    how execution interleaved.
+    compiled automata land in the engine's compile cache directly and the
+    warm-back list is empty.  Otherwise ``pool_provider(workers)`` supplies
+    the engine's persistent pool, chunks are submitted to it, and the
+    returned warm-back entries let the caller merge worker compilations
+    into its own cache — the parent's caches are *not* touched here, so
+    cache state after a batch is deterministic (task-id merge order) no
+    matter how execution interleaved.
 
     The worker count is capped at the machine's core count: this work is
-    pure CPU, so extra processes only add fork/pickle overhead — on a
+    pure CPU, so extra processes only add scheduling overhead — on a
     single-core box every ``workers`` value degrades to the in-process
     path.  (Verdicts are identical either way; only wall-clock differs.)
     Set ``REPRO_ENGINE_OVERSUBSCRIBE=1`` to lift the cap — used by the
-    test-suite to exercise the process path on small machines.
+    test-suite to exercise the pool path on small machines.
     """
     tasks = plan.tasks
     if os.environ.get("REPRO_ENGINE_OVERSUBSCRIBE") != "1":
         workers = min(workers, os.cpu_count() or 1)
     started = time.perf_counter()
-    if workers <= 1 or len(tasks) < MIN_TASKS_FOR_POOL:
+    if (
+        workers <= 1
+        or len(tasks) < MIN_TASKS_FOR_POOL
+        or pool_provider is None
+    ):
         if sequential_decide is None:
             memo: Dict[Expr, WFA] = {}
 
@@ -192,36 +174,40 @@ def execute_tasks(
             task.task_id: sequential_decide(task.left, task.right) for task in tasks
         }
         wall = time.perf_counter() - started
-        return verdicts, ExecutionReport(
+        report = ExecutionReport(
             workers=1,
             mode="sequential",
             tasks=len(tasks),
             wall_seconds=wall,
             worker_seconds=wall,
-            max_bucket_seconds=wall,
+            max_chunk_seconds=wall,
         )
+        return verdicts, report, []
 
-    buckets = _buckets_for(plan, workers)
+    pool = pool_provider(workers)
+    chunks = chunk_tasks(plan, workers)
     payloads = [
-        [(task.task_id, task.left, task.right) for task in bucket]
-        for bucket in buckets
+        [(task.task_id, task.left, task.right) for task in chunk]
+        for chunk in chunks
     ]
-    verdicts: Dict[int, EquivalenceResult] = {}
-    worker_seconds = 0.0
-    max_bucket = 0.0
-    with ProcessPoolExecutor(
-        max_workers=len(buckets), mp_context=_pool_context()
-    ) as pool:
-        for results, bucket_seconds in pool.map(_run_bucket, payloads):
-            worker_seconds += bucket_seconds
-            max_bucket = max(max_bucket, bucket_seconds)
-            for task_id, result in results:
-                verdicts[task_id] = result
-    return verdicts, ExecutionReport(
-        workers=len(buckets),
-        mode="process",
+    fallback = sequential_decide
+    if fallback is None:
+        fallback_memo: Dict[Expr, WFA] = {}
+
+        def fallback(left, right, _memo=fallback_memo):
+            return decide_pure(left, right, _memo)
+
+    verdicts, outcome = pool.run_batch(payloads, fallback)
+    report = ExecutionReport(
+        workers=pool.size,
+        mode="pool",
         tasks=len(tasks),
+        chunks=len(chunks),
         wall_seconds=time.perf_counter() - started,
-        worker_seconds=worker_seconds,
-        max_bucket_seconds=max_bucket,
+        worker_seconds=outcome.worker_seconds,
+        max_chunk_seconds=outcome.max_chunk_seconds,
+        restarts=outcome.restarts,
+        fallback_task_ids=outcome.fallback_task_ids,
+        warmback_returned=len(outcome.warmback),
     )
+    return verdicts, report, outcome.warmback

@@ -51,6 +51,7 @@ __all__ = [
     "make_warm_state",
     "save_warm_state",
     "load_warm_state",
+    "describe_warm_state",
 ]
 
 PERSIST_FORMAT = 1
@@ -143,13 +144,12 @@ def save_warm_state(state: WarmState, path: str) -> str:
     return path
 
 
-def load_warm_state(path: str, strict: bool = True) -> Optional[WarmState]:
-    """Read and validate a warm state.
+def _read_state(path: str) -> WarmState:
+    """Read and structurally validate a warm-state file (no staleness check).
 
-    Raises :class:`StaleWarmStateError` when the embedded fingerprint does
-    not match this process's :func:`pipeline_fingerprint` (or returns
-    ``None`` when ``strict`` is false — the cold-start fallback), and
-    :class:`WarmStateError` for unreadable or malformed files.
+    The shared front half of :func:`load_warm_state` and
+    :func:`describe_warm_state`: both must map unreadable/malformed files
+    to :class:`WarmStateError` identically.
     """
     try:
         with open(path, "rb") as handle:
@@ -164,6 +164,18 @@ def load_warm_state(path: str, strict: bool = True) -> Optional[WarmState]:
         raise WarmStateError(
             f"warm state {path!r} holds {type(state).__name__}, expected WarmState"
         )
+    return state
+
+
+def load_warm_state(path: str, strict: bool = True) -> Optional[WarmState]:
+    """Read and validate a warm state.
+
+    Raises :class:`StaleWarmStateError` when the embedded fingerprint does
+    not match this process's :func:`pipeline_fingerprint` (or returns
+    ``None`` when ``strict`` is false — the cold-start fallback), and
+    :class:`WarmStateError` for unreadable or malformed files.
+    """
+    state = _read_state(path)
     current = pipeline_fingerprint()
     if state.fingerprint != current:
         if not strict:
@@ -174,6 +186,32 @@ def load_warm_state(path: str, strict: bool = True) -> Optional[WarmState]:
             "recompile cold and re-save"
         )
     return state
+
+
+def describe_warm_state(path: str) -> Dict[str, Any]:
+    """Inspect a warm-state file without loading it into an engine.
+
+    Returns fingerprint (+ whether it matches this process), entry counts,
+    creation time, file size, and the saving engine's meta — which, since
+    the pool's warm-back channel, records how much of the compile cache
+    came from pool workers (``warmback_merged``) versus the parent
+    (``parent_compilations``).  For ops tooling: a serving wrapper can
+    decide whether a state is worth shipping to a replica before paying
+    the full load.  Raises :class:`WarmStateError` for unreadable files
+    but does *not* reject stale fingerprints — staleness is part of the
+    description.
+    """
+    state = _read_state(path)
+    return {
+        "path": path,
+        "bytes": os.path.getsize(path),
+        "fingerprint": state.fingerprint,
+        "fresh": state.fingerprint == pipeline_fingerprint(),
+        "wfa_entries": len(state.wfas),
+        "verdict_entries": len(state.verdicts),
+        "created_at": state.created_at,
+        "meta": dict(state.meta),
+    }
 
 
 def make_warm_state(

@@ -42,7 +42,19 @@ from repro.automata.equivalence import EquivalenceResult
 from repro.automata.wfa import thompson_state_estimate
 from repro.core.expr import Expr
 
-__all__ = ["PlannedQuery", "PlanStats", "BatchPlan", "plan_batch", "IDENTICAL_RESULT"]
+__all__ = [
+    "PlannedQuery",
+    "PlanStats",
+    "BatchPlan",
+    "plan_batch",
+    "chunk_tasks",
+    "IDENTICAL_RESULT",
+]
+
+# Aim for this many chunks per pool slot: enough slack that a fast worker
+# pulls more work instead of idling behind a straggler (or a restarted
+# worker rejoining mid-batch), few enough that queue traffic stays noise.
+CHUNKS_PER_WORKER = 4
 
 
 # The inline verdict for pointer-equal pairs — the same object the engine's
@@ -171,6 +183,58 @@ def plan_batch(
         distinct.add(task.right)
     stats.distinct_expressions = len(distinct)
     return BatchPlan(results=results, tasks=tasks, groups=groups, stats=stats)
+
+
+def chunk_tasks(
+    plan: BatchPlan,
+    workers: int,
+    chunks_per_worker: int = CHUNKS_PER_WORKER,
+) -> List[List[PlannedQuery]]:
+    """Split a plan into steal-friendly chunks for the persistent pool.
+
+    The old executor bin-packed sharing groups statically onto workers
+    (LPT): optimal if every worker runs at full speed forever, pathological
+    the moment one straggles or dies.  The persistent pool self-schedules
+    instead — idle workers pull the next chunk off a shared queue — so the
+    planner's job changes: produce *more chunks than workers* (default
+    ``chunks_per_worker`` per slot) so pulling balances load dynamically,
+    while keeping each sharing group intact inside a single chunk so every
+    distinct expression still compiles in exactly one process.
+
+    Deterministic given the plan: groups are taken most-expensive-first
+    (the queue-order analogue of LPT — big chunks start early, small ones
+    backfill), groups cheaper than the target chunk budget coalesce to
+    amortise queue traffic, and tasks inside a chunk keep the planner's
+    cheapest-first order.
+    """
+    if not plan.tasks:
+        return []
+    by_id = {task.task_id: task for task in plan.tasks}
+    costed_groups = sorted(
+        (
+            (sum(by_id[task_id].cost for task_id in group), group)
+            for group in plan.groups
+        ),
+        key=lambda item: (-item[0], item[1][0]),
+    )
+    total_cost = sum(cost for cost, _group in costed_groups)
+    slots = max(1, int(workers)) * max(1, int(chunks_per_worker))
+    budget = max(1, total_cost // slots)
+    chunks: List[List[PlannedQuery]] = []
+    current: List[PlannedQuery] = []
+    current_cost = 0
+    for cost, group in costed_groups:
+        if current and current_cost + cost > budget:
+            chunks.append(current)
+            current, current_cost = [], 0
+        current.extend(by_id[task_id] for task_id in sorted(group))
+        current_cost += cost
+        if current_cost >= budget:
+            chunks.append(current)
+            current, current_cost = [], 0
+    if current:
+        chunks.append(current)
+    return chunks
 
 
 def _sharing_groups(tasks: Sequence[PlannedQuery]) -> List[List[int]]:

@@ -160,18 +160,45 @@ class LRUCache:
         except KeyError:
             self.misses += 1
             return default
-        self._data.move_to_end(key)
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            # Concurrently evicted between the read and the recency bump
+            # (process-global memos are shared across engine threads); the
+            # value we already read is still valid.
+            pass
         self.hits += 1
         return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Non-mutating lookup: no recency refresh, no hit/miss counters.
+
+        For bookkeeping reads — e.g. the engine checking whether a merge
+        already stored a verdict — that must not perturb eviction order or
+        the observable statistics.
+        """
+        return self._data.get(key, default)
 
     def put(self, key: Hashable, value: Any) -> None:
         data = self._data
         if key in data:
-            data.move_to_end(key)
+            try:
+                data.move_to_end(key)
+            except KeyError:
+                pass  # racing eviction from another thread; insert below
         data[key] = value
         while len(data) > self._maxsize:
-            data.popitem(last=False)
+            try:
+                data.popitem(last=False)
+            except KeyError:  # another thread emptied it first
+                break
             self.evictions += 1
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        """Dict-style insert, so an :class:`LRUCache` satisfies the mapping
+        protocol of memo consumers like ``decide_pure`` (pool workers use a
+        bounded LRU where an unbounded ``dict`` would grow forever)."""
+        self.put(key, value)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -186,6 +213,26 @@ class LRUCache:
         ``put`` on a fresh cache reproduces this cache's eviction order.
         """
         return list(self._data.items())
+
+    def merge_items(self, items, skip_existing: bool = True):
+        """Bulk-insert ``(key, value)`` pairs; returns ``(merged, skipped)``.
+
+        The engine's warm-back merge: worker-compiled entries flow in
+        deduped against what the cache already holds — with
+        ``skip_existing`` (the default) a present key is left untouched,
+        *including its recency*, so absorbing a batch of warm-back entries
+        cannot evict the parent's hottest entries in favour of twins it
+        already had.  Insertion stays bounded by ``maxsize`` through the
+        normal ``put`` eviction path.
+        """
+        merged = skipped = 0
+        for key, value in items:
+            if skip_existing and key in self._data:
+                skipped += 1
+                continue
+            self.put(key, value)
+            merged += 1
+        return merged, skipped
 
     # -- management -----------------------------------------------------------
 

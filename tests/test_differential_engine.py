@@ -1,0 +1,144 @@
+"""Differential oracle: three engine configurations must agree byte-for-byte.
+
+Kappé–Silva–Wagemaker's survey point, operationalised: a decision-procedure
+implementation is only trustworthy if every execution strategy conforms to
+the same algebraic semantics.  While PR 5 rebuilt the executor around a
+persistent worker pool, this suite pins the conformance surface: a seeded
+200-pair corpus is decided by
+
+(a) the **pooled parallel** engine (persistent workers, warm-back channel,
+    steal-aware chunks),
+(b) the **sequential** engine (the planner's in-process path), and
+(c) a **fresh no-cache** oracle (caches wiped before every single pair, so
+    no state whatsoever carries between queries),
+
+and all three must produce *identical* verdicts — including the
+counterexample word and the deciding reason, compared byte-for-byte on the
+pickled results.  Any divergence means scheduling, caching or the
+warm-back merge leaked into the answers, which the algebra forbids.
+
+The corpus mixes alphabet sizes, depths, star densities and
+identical-by-construction pairs so all decision paths (pointer-equal
+short-circuit, Tzeng exhaustion, counterexample search, ∞-support
+handling through nested stars) are exercised.
+"""
+
+import pickle
+
+import pytest
+
+from gen import random_pairs
+
+from repro.engine import NKAEngine
+
+
+# Four seeded slices, 200 pairs total: varied alphabets/depths/star biases.
+CORPUS_SPECS = (
+    dict(seed=5001, count=60, letters=("a", "b", "c"), depth=3,
+         equal_fraction=0.15, star_bias=0.2),
+    dict(seed=5002, count=60, letters=("a", "b"), depth=4,
+         equal_fraction=0.1, star_bias=0.3),
+    dict(seed=5003, count=50, letters=("a", "b", "c", "d"), depth=3,
+         equal_fraction=0.2, star_bias=0.25),
+    dict(seed=5004, count=30, letters=("a",), depth=5,
+         equal_fraction=0.1, star_bias=0.35),
+)
+
+CORPUS_SIZE = 200
+
+
+def _corpus():
+    pairs = []
+    for spec in CORPUS_SPECS:
+        pairs.extend(random_pairs(**spec))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    pairs = _corpus()
+    assert len(pairs) == CORPUS_SIZE
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def pooled_verdicts(corpus):
+    """(a) Persistent pool, forced onto the process path on any machine."""
+    import os
+
+    previous = os.environ.get("REPRO_ENGINE_OVERSUBSCRIBE")
+    os.environ["REPRO_ENGINE_OVERSUBSCRIBE"] = "1"
+    try:
+        with NKAEngine("diff-pooled", workers=2) as engine:
+            verdicts = engine.equal_many_detailed(corpus, workers=2)
+            mode = engine.stats()["last_batch"]["executor"]["mode"]
+        assert mode == "pool", f"pool path did not engage: {mode}"
+        return verdicts
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_ENGINE_OVERSUBSCRIBE", None)
+        else:
+            os.environ["REPRO_ENGINE_OVERSUBSCRIBE"] = previous
+
+
+@pytest.fixture(scope="module")
+def sequential_verdicts(corpus):
+    """(b) The default in-process engine, one batch, worker count 1."""
+    engine = NKAEngine("diff-sequential", workers=1)
+    return engine.equal_many_detailed(corpus, workers=1)
+
+
+@pytest.fixture(scope="module")
+def nocache_verdicts(corpus):
+    """(c) The oracle: caches wiped before every pair — no carried state."""
+    engine = NKAEngine("diff-nocache")
+    verdicts = []
+    for left, right in corpus:
+        engine.clear()  # forget every compiled automaton and verdict
+        verdicts.append(engine.equal_detailed(left, right))
+    return verdicts
+
+
+def test_corpus_is_the_mandated_200_pairs(corpus):
+    assert len(corpus) == CORPUS_SIZE
+
+
+def test_pooled_equals_sequential_bytewise(pooled_verdicts, sequential_verdicts):
+    assert len(pooled_verdicts) == CORPUS_SIZE
+    for index, (pooled, sequential) in enumerate(
+        zip(pooled_verdicts, sequential_verdicts)
+    ):
+        assert pickle.dumps(pooled) == pickle.dumps(sequential), (
+            f"pair #{index}: pooled {pooled} != sequential {sequential}"
+        )
+
+
+def test_sequential_equals_nocache_bytewise(sequential_verdicts, nocache_verdicts):
+    for index, (sequential, oracle) in enumerate(
+        zip(sequential_verdicts, nocache_verdicts)
+    ):
+        assert pickle.dumps(sequential) == pickle.dumps(oracle), (
+            f"pair #{index}: sequential {sequential} != no-cache oracle {oracle}"
+        )
+
+
+def test_counterexample_words_identical_across_configs(
+    pooled_verdicts, sequential_verdicts, nocache_verdicts
+):
+    """The refuting word — not just the boolean — must be config-independent."""
+    refuted = 0
+    for pooled, sequential, oracle in zip(
+        pooled_verdicts, sequential_verdicts, nocache_verdicts
+    ):
+        assert pooled.counterexample == sequential.counterexample == oracle.counterexample
+        if not pooled.equal:
+            refuted += 1
+            assert pooled.counterexample is not None
+    # The corpus must actually exercise the counterexample machinery.
+    assert refuted > CORPUS_SIZE // 4, f"only {refuted} refutations in corpus"
+
+
+def test_corpus_exercises_both_outcomes(sequential_verdicts):
+    equal = sum(1 for verdict in sequential_verdicts if verdict.equal)
+    assert equal > 10, f"too few equal pairs ({equal}) to trust the corpus"
+    assert equal < CORPUS_SIZE - 10, "corpus must include refuted pairs too"

@@ -127,7 +127,8 @@ class TestBatchSemantics:
             assert batched == sequential, f"diverged at workers={workers}"
             if workers > 1:
                 executor = engine.stats()["last_batch"]["executor"]
-                assert executor["mode"] == "process", executor
+                assert executor["mode"] == "pool", executor
+            engine.close()
 
     def test_facade_batch_matches_facade_single(self):
         from repro.core.decision import (
@@ -168,6 +169,123 @@ class TestBatchSemantics:
         assert stats["last_batch"]["executor"]["tasks"] == stats["planner"]["tasks"]
         # The report must be JSON-serialisable end to end.
         assert "planner" in engine.stats_json()
+
+
+class TestWarmBack:
+    """Worker compilations must flow back into the parent's WFA cache."""
+
+    def _pooled_engine_after_batch(self, monkeypatch, pairs):
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        engine = NKAEngine("warmback", workers=2)
+        engine.equal_many_detailed(pairs, workers=2)
+        assert engine.stats()["last_batch"]["executor"]["mode"] == "pool"
+        return engine
+
+    def test_parallel_batch_fills_parent_wfa_cache(self, monkeypatch):
+        pairs = _fresh_pairs(seed=211, count=40)
+        engine = self._pooled_engine_after_batch(monkeypatch, pairs)
+        try:
+            # Every distinct expression the planner turned into a task must
+            # now be in the parent's compile cache — without the parent
+            # having compiled anything itself.
+            plan = plan_batch(pairs, lambda left, right: None)
+            for task in plan.tasks:
+                assert engine.has_wfa(task.left), task.left
+                assert engine.has_wfa(task.right), task.right
+            stats = engine.stats()
+            assert stats["compilations"] == 0, "parent must not compile"
+            assert stats["warm_back"]["merged"] == stats["planner"][
+                "distinct_expressions"
+            ]
+            assert stats["warm_back"]["returned"] >= stats["warm_back"]["merged"]
+            # Each task's verdict is stored exactly once (no double count
+            # between the pool merge and any fallback path).
+            assert stats["decisions"] == stats["planner"]["tasks"]
+        finally:
+            engine.close()
+
+    def test_identical_followup_batch_compiles_nothing(self, monkeypatch):
+        pairs = _fresh_pairs(seed=212, count=40)
+        engine = self._pooled_engine_after_batch(monkeypatch, pairs)
+        try:
+            again = engine.stats()
+            engine.equal_many_detailed(pairs, workers=2)
+            stats = engine.stats()
+            assert stats["compilations"] == 0
+            assert stats["last_batch"]["planner"]["tasks"] == 0
+            assert (
+                stats["warm_back"]["merged"] == again["warm_back"]["merged"]
+            ), "no new warm-back entries for an all-cached batch"
+        finally:
+            engine.close()
+
+    def test_recombined_batch_runs_on_warmed_cache(self, monkeypatch):
+        """New pairs over already-seen expressions: Tzeng yes, compile no."""
+        pairs = _fresh_pairs(seed=213, count=40)
+        engine = self._pooled_engine_after_batch(monkeypatch, pairs)
+        try:
+            # Pointer-equal pairs never become tasks (and so never warm
+            # back) — recombine only the expressions the planner executed.
+            plan = plan_batch(pairs, lambda left, right: None)
+            exprs = sorted(
+                {expr for task in plan.tasks for expr in (task.left, task.right)},
+                key=str,
+            )
+            recombined = list(zip(exprs, exprs[1:]))
+            engine.equal_many_detailed(recombined, workers=1)  # sequential path
+            assert engine.stats()["compilations"] == 0, (
+                "every operand was warm-backed by the pooled batch"
+            )
+        finally:
+            engine.close()
+
+    def test_warm_state_after_parallel_batch_replays_in_fresh_process(
+        self, monkeypatch, tmp_path
+    ):
+        """save_warm_state after a pooled batch captures worker compiles."""
+        pairs = _fresh_pairs(seed=214, count=24)
+        engine = self._pooled_engine_after_batch(monkeypatch, pairs)
+        try:
+            path = str(tmp_path / "warmback-state.pickle")
+            engine.save_warm_state(path)
+        finally:
+            engine.close()
+
+        # The child re-derives the *recombined* pairing, so the verdict
+        # cache alone cannot answer it — the warm-backed WFAs must.
+        script = (
+            "from gen import random_pairs\n"
+            "from repro.engine import NKAEngine, plan_batch\n"
+            "pairs = random_pairs(seed=214, count=24, depth=3, equal_fraction=0.2)\n"
+            "plan = plan_batch(pairs, lambda left, right: None)\n"
+            "exprs = sorted({e for t in plan.tasks for e in (t.left, t.right)},\n"
+            "               key=str)\n"
+            f"engine = NKAEngine('child', warm_state={path!r})\n"
+            "engine.equal_many(list(zip(exprs, exprs[1:])))\n"
+            "assert engine.stats()['compilations'] == 0, 'child compiled!'\n"
+            "print('ok')\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [SRC, os.path.dirname(__file__), env.get("PYTHONPATH", "")]
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "ok"
+
+    def test_warm_state_meta_records_warmback_provenance(self, monkeypatch):
+        pairs = _fresh_pairs(seed=215, count=40)
+        engine = self._pooled_engine_after_batch(monkeypatch, pairs)
+        try:
+            state = engine.warm_state()
+            assert state.meta["warmback_merged"] > 0
+            assert state.meta["parent_compilations"] == 0
+            assert state.meta["wfa_entries"] == state.meta["warmback_merged"]
+        finally:
+            engine.close()
 
 
 class TestWarmState:

@@ -1,0 +1,298 @@
+"""Soak and lifecycle semantics of the persistent engine worker pool.
+
+The pool's contract is that process management is *invisible* in the
+verdicts: workers persist across batches (and keep compile memos warm),
+die and get replaced without changing a single answer, recycle wholesale
+when the pipeline fingerprint changes, and are joined + reaped
+deterministically by ``engine.close()`` — no children left behind.
+
+Every test forces ``REPRO_ENGINE_OVERSUBSCRIBE=1`` so the pool path runs
+even on single-core CI boxes (the executor otherwise degrades to the
+in-process path there, by design).
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from gen import random_pairs
+
+from repro.core.parser import parse
+from repro.engine import NKAEngine, WorkerPool, pipeline_fingerprint
+from repro.engine import persist
+from repro.engine.executor import decide_pure
+
+
+def _pairs(seed=201, count=40, depth=3):
+    return random_pairs(seed=seed, count=count, depth=depth, equal_fraction=0.2)
+
+
+def _sequential_reference(pairs):
+    engine = NKAEngine("pool-ref")
+    return [engine.equal_detailed(left, right) for left, right in pairs]
+
+
+def _wait_dead(pid, timeout=5.0):
+    """True once ``pid`` no longer runs — reaped (gone) or zombie (``Z``).
+
+    After SIGKILL a worker lingers as a zombie until the pool joins it, and
+    ``os.kill(pid, 0)`` still succeeds on zombies — so check ``/proc``
+    state instead of signalling.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(f"/proc/{pid}/stat") as handle:
+                state = handle.read().rsplit(") ", 1)[1].split()[0]
+        except (FileNotFoundError, ProcessLookupError, IndexError):
+            return True
+        if state == "Z":
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestPoolPersistence:
+    def test_workers_persist_across_batches(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        with NKAEngine("pool-persist", workers=2) as engine:
+            engine.equal_many(_pairs(seed=301), workers=2)
+            first_pids = sorted(engine.worker_pids())
+            assert len(first_pids) == 2
+            engine.equal_many(_pairs(seed=302), workers=2)
+            assert sorted(engine.worker_pids()) == first_pids, (
+                "second batch must reuse the same worker processes"
+            )
+            stats = engine.stats()["executor"]
+            assert stats["pooled_batches"] == 2
+            assert stats["worker_restarts"] == 0
+            assert engine.pool_stats()["batches"] == 2
+
+    def test_lifetime_stats_accumulate_across_batches(self, monkeypatch):
+        """The stats() satellite fix: totals must not reset per batch."""
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        with NKAEngine("pool-stats", workers=2) as engine:
+            batches = [_pairs(seed=311), _pairs(seed=312), _pairs(seed=313)]
+            expected_tasks = 0
+            for batch in batches:
+                engine.equal_many(batch, workers=2)
+                expected_tasks += engine.stats()["last_batch"]["executor"]["tasks"]
+            stats = engine.stats()["executor"]
+            assert stats["batches"] == 3
+            assert stats["pooled_batches"] == 3
+            assert stats["tasks_executed"] == expected_tasks
+            assert stats["tasks_executed"] > stats["batches"], (
+                "lifetime task total must aggregate, not mirror the last batch"
+            )
+
+    def test_pool_grows_to_larger_worker_request(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        with NKAEngine("pool-grow", workers=2) as engine:
+            engine.equal_many(_pairs(seed=321), workers=2)
+            assert len(engine.worker_pids()) == 2
+            engine.equal_many(_pairs(seed=322), workers=4)
+            assert len(engine.worker_pids()) == 4
+
+
+class TestWorkerDeath:
+    def test_kill_between_batches_restarts_and_completes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        follow_up = _pairs(seed=332, count=40)
+        expected = _sequential_reference(follow_up)
+        with NKAEngine("pool-kill-idle", workers=2) as engine:
+            engine.equal_many(_pairs(seed=331), workers=2)
+            victim = engine.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            assert _wait_dead(victim)
+            got = engine.equal_many_detailed(follow_up, workers=2)
+            assert got == expected
+            assert engine.stats()["executor"]["worker_restarts"] >= 1
+            pids = engine.worker_pids()
+            assert victim not in pids and len(pids) == 2
+
+    def test_kill_mid_batch_still_completes_identically(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        # Deep star-heavy pairs so the batch outlives the assassin thread.
+        batch = random_pairs(
+            seed=333, count=48, depth=6, equal_fraction=0.1, star_bias=0.3
+        )
+        expected = _sequential_reference(batch)
+        with NKAEngine("pool-kill-busy", workers=2) as engine:
+            # Warm the pool up so the kill happens inside run_batch, not
+            # during worker start-up.
+            engine.equal_many(_pairs(seed=334, count=12), workers=2)
+
+            def assassinate():
+                time.sleep(0.05)
+                pids = engine.worker_pids()
+                if pids:
+                    try:
+                        os.kill(pids[0], signal.SIGKILL)
+                    except ProcessLookupError:
+                        pass  # batch already finished — test degrades to a no-op kill
+
+            assassin = threading.Thread(target=assassinate)
+            assassin.start()
+            got = engine.equal_many_detailed(batch, workers=2)
+            assassin.join()
+            assert got == expected, "verdicts must survive a mid-batch SIGKILL"
+
+    def test_unrecoverable_pool_falls_back_in_process(self):
+        """A pool that cannot keep workers alive still answers every task."""
+        pairs = [
+            (parse("(a b)* a"), parse("a (b a)*")),
+            (parse("a + b"), parse("b + a")),
+            (parse("a*"), parse("1 + a a*")),
+        ]
+        expected = [decide_pure(left, right) for left, right in pairs]
+        pool = WorkerPool(1, pipeline_fingerprint())
+        try:
+            for pid in pool.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+                assert _wait_dead(pid)
+            pool._spawn = lambda: None  # replacements never come up
+            chunks = [
+                [(task_id, left, right)]
+                for task_id, (left, right) in enumerate(pairs)
+            ]
+            verdicts, outcome = pool.run_batch(chunks, decide_pure)
+            assert [verdicts[i] for i in range(len(pairs))] == expected
+            assert len(outcome.fallback_task_ids) == len(pairs)
+        finally:
+            pool.close()
+
+
+class TestFingerprintRecycle:
+    def test_fingerprint_change_recycles_pool_not_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        pairs_before = _pairs(seed=341)
+        pairs_after = _pairs(seed=342)
+        expected_after = _sequential_reference(pairs_after)
+        with NKAEngine("pool-refp", workers=2) as engine:
+            engine.equal_many(pairs_before, workers=2)
+            old_pids = set(engine.worker_pids())
+            # Simulate a pipeline hot-reload: the memoized fingerprint flips.
+            monkeypatch.setattr(persist, "_FINGERPRINT", "e" * 64)
+            got = engine.equal_many_detailed(pairs_after, workers=2)
+            assert got == expected_after
+            stats = engine.stats()["executor"]
+            assert stats["pool_recycles"] == 1
+            pool = engine.pool_stats()
+            if pool["start_method"] == "fork":
+                # Forked replacements inherit the (shimmed) fingerprint and
+                # come up matching: an entirely fresh worker set serves.
+                new_pids = set(engine.worker_pids())
+                assert new_pids and not (new_pids & old_pids), (
+                    "a recycled pool must consist of entirely fresh workers"
+                )
+            else:
+                # Spawned replacements recompute the real fingerprint from
+                # disk, mismatch the shim, and are rejected rather than
+                # trusted — the batch completed through the in-process
+                # fallback instead.
+                assert pool["fingerprint_rejects"] > 0
+            for pid in old_pids:
+                assert _wait_dead(pid), "stale workers must be torn down"
+
+    def test_mismatched_spawn_workers_rejected_not_trusted(self, monkeypatch):
+        """A worker whose pipeline differs from the parent's must not serve.
+
+        Under ``spawn`` a worker recomputes the fingerprint from the
+        sources on disk; if that disagrees with the pool's pinned
+        fingerprint, its verdicts would come from a *different* decision
+        procedure — the pool rejects it at the handshake and the batch
+        completes through the parent's own in-process fallback.
+        """
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        pairs = _pairs(seed=345)
+        expected = _sequential_reference(pairs)
+        with NKAEngine("pool-reject", workers=2, start_method="spawn") as engine:
+            monkeypatch.setattr(persist, "_FINGERPRINT", "d" * 64)
+            got = engine.equal_many_detailed(pairs, workers=2)
+            assert got == expected
+            pool = engine.pool_stats()
+            assert pool["fingerprint_rejects"] >= 1
+            report = engine.stats()["last_batch"]["executor"]
+            assert report["fallback_tasks"] == report["tasks"], (
+                "no task may be answered by a mismatched worker"
+            )
+
+    def test_stable_fingerprint_never_recycles(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        with NKAEngine("pool-stable", workers=2) as engine:
+            engine.equal_many(_pairs(seed=343), workers=2)
+            engine.equal_many(_pairs(seed=344), workers=2)
+            assert engine.stats()["executor"]["pool_recycles"] == 0
+
+
+class TestShutdown:
+    def test_close_leaves_no_child_processes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        engine = NKAEngine("pool-close", workers=2)
+        engine.equal_many(_pairs(seed=351), workers=2)
+        pids = engine.worker_pids()
+        assert pids
+        for pid in pids:
+            assert os.path.exists(f"/proc/{pid}")
+        engine.close()
+        # join() inside close reaps each child: the PID must be gone from
+        # the process table entirely (a zombie would still show up).
+        for pid in pids:
+            assert not os.path.exists(f"/proc/{pid}"), f"pid {pid} survived close"
+        assert engine.worker_pids() == []
+        assert engine.pool_stats() is None
+        engine.close()  # idempotent
+
+    def test_close_is_not_the_end_of_the_session(self, monkeypatch):
+        """Caches survive close; the next parallel batch restarts the pool."""
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        pairs = _pairs(seed=352)
+        with NKAEngine("pool-reopen", workers=2) as engine:
+            first = engine.equal_many_detailed(pairs, workers=2)
+            engine.close()
+            assert engine.worker_pids() == []
+            again = engine.equal_many_detailed(pairs, workers=2)
+            assert again == first
+            assert engine.stats()["last_batch"]["planner"]["tasks"] == 0, (
+                "the verdict cache must have survived close()"
+            )
+            fresh = engine.equal_many_detailed(_pairs(seed=353), workers=2)
+            assert engine.worker_pids(), "a fresh pool must have started"
+            assert fresh == _sequential_reference(_pairs(seed=353))
+
+    def test_context_manager_closes_on_exception(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        pids = []
+        with pytest.raises(RuntimeError, match="boom"):
+            with NKAEngine("pool-ctx", workers=2) as engine:
+                engine.equal_many(_pairs(seed=354), workers=2)
+                pids = engine.worker_pids()
+                raise RuntimeError("boom")
+        assert pids
+        for pid in pids:
+            assert not os.path.exists(f"/proc/{pid}")
+
+
+class TestStartMethods:
+    def test_explicit_spawn_start_method(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        pairs = _pairs(seed=361, count=30)
+        expected = _sequential_reference(pairs)
+        with NKAEngine("pool-spawn", workers=2, start_method="spawn") as engine:
+            got = engine.equal_many_detailed(pairs, workers=2)
+            assert got == expected
+            pool = engine.pool_stats()
+            assert pool["start_method"] == "spawn"
+            assert engine.stats()["warm_back"]["merged"] > 0, (
+                "warm-back must survive spawn pickling (exprs re-intern)"
+            )
+
+    def test_env_var_selects_start_method(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        monkeypatch.setenv("REPRO_ENGINE_START_METHOD", "fork")
+        with NKAEngine("pool-env", workers=2) as engine:
+            engine.equal_many(_pairs(seed=362), workers=2)
+            assert engine.pool_stats()["start_method"] == "fork"
