@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.linalg import BOOL, SparseMatrix, reachable
+from repro.linalg import BOOL, SparseMatrix, kernels, reachable
 
 __all__ = ["NFA", "DFA", "determinize", "dfa_equivalent", "dfa_product_intersection"]
 
@@ -51,6 +51,9 @@ class NFA:
     def add_transition(self, source: int, letter: str, target: int) -> None:
         self.transitions.setdefault((source, letter), set()).add(target)
         self._letter_matrices.pop(letter, None)
+        masks = getattr(self, "_successor_masks", None)
+        if masks is not None:  # bitset cache of the vectorized backend
+            masks.pop(letter, None)
 
     def letter_matrix(self, letter: str) -> SparseMatrix:
         """The letter's transition relation as a Boolean sparse matrix.
@@ -69,6 +72,9 @@ class NFA:
         return cached
 
     def successors(self, states: Iterable[int], letter: str) -> FrozenSet[int]:
+        fast = kernels.try_nfa_successors(self, letter, states)
+        if fast is not None:
+            return fast
         rows = self.letter_matrix(letter).rows
         result: Set[int] = set()
         for state in states:

@@ -57,6 +57,7 @@ __all__ = [
     "matrix_mul",
     "matrix_add",
     "expr_to_wfa",
+    "PARALLEL_EPSILON_MIN_STATES",
     "thompson_state_estimate",
     "infinity_support_nfa",
     "drop_infinite_weights",
@@ -285,7 +286,16 @@ def _shift_letters(
     return tuple((i + offset, a, j + offset) for i, a, j in fragment.letters)
 
 
-def expr_to_wfa(expr: Expr, extra_alphabet: FrozenSet[str] = frozenset()) -> WFA:
+# Below this many Thompson states, splitting the ε-closure into parallel
+# blocks costs more in pipe traffic than one in-process star.
+PARALLEL_EPSILON_MIN_STATES = 64
+
+
+def expr_to_wfa(
+    expr: Expr,
+    extra_alphabet: FrozenSet[str] = frozenset(),
+    epsilon_block_executor=None,
+) -> WFA:
     """Compile an NKA expression to an ε-free WFA over ``N̄``.
 
     The behaviour of the result equals the series ``{{expr}}`` of
@@ -296,6 +306,16 @@ def expr_to_wfa(expr: Expr, extra_alphabet: FrozenSet[str] = frozenset()) -> WFA
     and ``M'(a) = M(a)·C`` so that
     ``α'·M'(a1)…M'(ak)·η = α·C·M(a1)·C·…·M(ak)·C·η``, the sum over all runs
     interleaved with arbitrarily many ε-steps.
+
+    ``epsilon_block_executor`` enables *intra-expression* parallel
+    ε-elimination: for fragments of at least ``PARALLEL_EPSILON_MIN_STATES``
+    states the closure runs as
+    :meth:`repro.linalg.SparseMatrix.star_parallel` — the SCC-condensation's
+    independent diagonal blocks are starred by the executor (the engine
+    passes its worker pool's :meth:`~repro.engine.pool.WorkerPool.
+    run_star_blocks`) and recombined by exact block back-substitution.
+    The closure is unique in a complete star semiring, so the result is
+    identical to the sequential star for every executor.
 
     Subautomata are memoized: the Thompson fragment of every composite
     subterm is cached per interned node (see :class:`_Fragment`), so only
@@ -312,7 +332,10 @@ def expr_to_wfa(expr: Expr, extra_alphabet: FrozenSet[str] = frozenset()) -> WFA
     eps = SparseMatrix(n, n, EXT_NAT)
     for i, j in fragment.epsilon:
         eps.add_entry(i, j, ONE)
-    closure = eps.star()
+    if epsilon_block_executor is not None and n >= PARALLEL_EPSILON_MIN_STATES:
+        closure = eps.star_parallel(epsilon_block_executor)
+    else:
+        closure = eps.star()
     closure_rows = closure.rows
 
     initial = [ZERO] * n
@@ -328,8 +351,14 @@ def expr_to_wfa(expr: Expr, extra_alphabet: FrozenSet[str] = frozenset()) -> WFA
         matrix = wfa.matrix(letter)
         closure_row = closure_rows.get(target)
         if closure_row:
-            for j, value in closure_row.items():
-                matrix.add_entry(source, j, value)
+            row = matrix.rows.get(source)
+            if row is None:
+                # Thompson letter edges have distinct sources, so the whole
+                # closure row transfers as one dict copy.
+                matrix.rows[source] = dict(closure_row)
+            else:  # pragma: no cover - defensive (shared source state)
+                for j, value in closure_row.items():
+                    matrix.add_entry(source, j, value)
     return wfa.trim()
 
 

@@ -53,11 +53,14 @@ from repro.engine.persist import (
     pipeline_fingerprint,
     save_warm_state,
 )
+from repro.linalg import kernels
 from repro.util.cache import CacheRegistry, LRUCache, process_registry
 
 __all__ = ["NKAEngine", "default_engine"]
 
 _ENGINE_COUNTER = [0]
+
+_UNSET = object()  # configure() sentinel: "leave this setting alone"
 
 
 class NKAEngine:
@@ -79,6 +82,14 @@ class NKAEngine:
         start_method: multiprocessing start method for the pool (``fork``/
             ``spawn``/``forkserver``); default prefers ``fork``, overridable
             process-wide via ``REPRO_ENGINE_START_METHOD``.
+        kernel: linalg kernel backend for this session's compilations and
+            decisions (``"python"`` | ``"numpy"``, see
+            :mod:`repro.linalg.kernels`).  ``None`` (default) follows the
+            process-wide setting (``REPRO_KERNEL``); an explicit choice is
+            scoped around this engine's work and propagated to its pool
+            workers, and validated at construction.  Verdicts are
+            byte-identical across backends — the numpy kernels either
+            return the oracle's exact answer or decline to it.
         warm_state: a :class:`~repro.engine.persist.WarmState`, or a path to
             one, to preload the caches from.  Stale state (pipeline
             fingerprint mismatch) raises
@@ -104,6 +115,7 @@ class NKAEngine:
         result_capacity: int = 8192,
         workers: int = 1,
         start_method: Optional[str] = None,
+        kernel: Optional[str] = None,
         warm_state: Union[None, str, WarmState] = None,
         strict_warm_state: bool = True,
         cache_namespace: Optional[str] = None,
@@ -126,6 +138,9 @@ class NKAEngine:
             process_registry().register(self._results)
         self.workers = max(1, int(workers))
         self._start_method = start_method
+        self._kernel = (
+            None if kernel is None else kernels.validate_backend(kernel)
+        )
         self._pool: Optional[WorkerPool] = None
         self._lock = threading.RLock()
         # Serialises batch execution: the pool's shared queues carry one
@@ -146,6 +161,7 @@ class NKAEngine:
             self.load_warm_state(warm_state, strict=strict_warm_state)
 
     def _reset_lifetime_executor_stats(self) -> None:
+        self._parallel_compilations = 0
         self._tasks_executed = 0
         self._sequential_batches = 0
         self._pooled_batches = 0
@@ -170,9 +186,44 @@ class NKAEngine:
             cached = self._wfa.get(expr)
             if cached is not None:
                 return cached
-        wfa = expr_to_wfa(expr)
+        with kernels.use_backend(self._kernel):
+            wfa = expr_to_wfa(expr)
         with self._lock:
             self._compilations += 1
+            self._wfa.put(expr, wfa)
+        return wfa
+
+    def compile_parallel(self, expr: Expr, workers: Optional[int] = None) -> WFA:
+        """Compile one expression with intra-expression parallel ε-elimination.
+
+        The ε-closure of a large Thompson fragment dominates its compile
+        time; its SCC-condensation splits into independent diagonal blocks
+        whose stars this method runs concurrently on the engine's
+        persistent worker pool
+        (:meth:`~repro.engine.pool.WorkerPool.run_star_blocks`), with the
+        off-diagonal closure recombined exactly by block back-substitution
+        (:meth:`repro.linalg.SparseMatrix.star_parallel`).  The result is
+        identical to :meth:`compile` — closures are unique — and lands in
+        the same session cache; small fragments (below
+        ``repro.automata.wfa.PARALLEL_EPSILON_MIN_STATES`` states) degrade
+        to the sequential path automatically.
+        """
+        with self._lock:
+            cached = self._wfa.get(expr)
+            if cached is not None:
+                return cached
+        effective_workers = self.workers if workers is None else max(1, int(workers))
+        if effective_workers <= 1:
+            return self.compile(expr)
+        with self._exec_lock:
+            pool = self._ensure_pool(effective_workers)
+            with kernels.use_backend(self._kernel):
+                wfa = expr_to_wfa(
+                    expr, epsilon_block_executor=pool.run_star_blocks
+                )
+        with self._lock:
+            self._compilations += 1
+            self._parallel_compilations += 1
             self._wfa.put(expr, wfa)
         return wfa
 
@@ -186,7 +237,8 @@ class NKAEngine:
             cached = self._results.get((left, right))
             if cached is not None:
                 return cached
-        result = wfa_equivalent(self.compile(left), self.compile(right))
+        with kernels.use_backend(self._kernel):
+            result = wfa_equivalent(self.compile(left), self.compile(right))
         self._store_verdict(left, right, result)
         return result
 
@@ -227,15 +279,20 @@ class NKAEngine:
         pairs = list(pairs)
         effective_workers = self.workers if workers is None else max(1, int(workers))
         plan_started = time.perf_counter()
-        plan = plan_batch(pairs, self._cached_verdict)
+        # The planner's cost model is backend-aware (numpy stars carry a
+        # constant conversion overhead and a shallower slope), so planning
+        # runs under this session's kernel too.
+        with kernels.use_backend(self._kernel):
+            plan = plan_batch(pairs, self._cached_verdict)
         plan_seconds = time.perf_counter() - plan_started
         with self._exec_lock:
-            verdicts, report, warmback = execute_tasks(
-                plan,
-                effective_workers,
-                sequential_decide=self._decide_into_caches,
-                pool_provider=self._ensure_pool,
-            )
+            with kernels.use_backend(self._kernel):
+                verdicts, report, warmback = execute_tasks(
+                    plan,
+                    effective_workers,
+                    sequential_decide=self._decide_into_caches,
+                    pool_provider=self._ensure_pool,
+                )
         # Merge in task-id order: deterministic cache state regardless of
         # scheduling (pool workers return verdicts in arbitrary order).
         # Tasks the pool's in-process fallback decided already went through
@@ -292,7 +349,8 @@ class NKAEngine:
 
     def _decide_into_caches(self, left: Expr, right: Expr) -> EquivalenceResult:
         """Sequential task execution path: ride this engine's caches."""
-        result = wfa_equivalent(self.compile(left), self.compile(right))
+        with kernels.use_backend(self._kernel):
+            result = wfa_equivalent(self.compile(left), self.compile(right))
         self._store_verdict(left, right, result)
         return result
 
@@ -306,6 +364,8 @@ class NKAEngine:
         totals.estimated_cost += stats.estimated_cost
         totals.distinct_expressions += stats.distinct_expressions
         totals.shared_expression_groups += stats.shared_expression_groups
+        totals.split_groups += stats.split_groups
+        totals.duplicated_expressions += stats.duplicated_expressions
 
     # -- worker-pool lifecycle ---------------------------------------------
 
@@ -321,9 +381,11 @@ class NKAEngine:
         """
         current_fingerprint = pipeline_fingerprint()
         with self._lock:
-            if (
-                self._pool is not None
-                and self._pool.fingerprint != current_fingerprint
+            if self._pool is not None and (
+                self._pool.fingerprint != current_fingerprint
+                # A reconfigured kernel invalidates the pool the same way:
+                # its workers pinned the old backend at start-up.
+                or self._pool.kernel != self._kernel
             ):
                 stale, self._pool = self._pool, None
                 self._pool_recycles += 1
@@ -344,6 +406,7 @@ class NKAEngine:
                 # Workers bound their compile memos the same way the
                 # parent bounds its WFA cache.
                 memo_capacity=self._wfa.maxsize,
+                kernel=self._kernel,
             )
             with self._lock:
                 self._pool = pool
@@ -452,8 +515,15 @@ class NKAEngine:
         wfa_capacity: Optional[int] = None,
         result_capacity: Optional[int] = None,
         workers: Optional[int] = None,
+        kernel=_UNSET,
     ) -> None:
-        """Resize caches (shrinking evicts LRU entries) / set default workers."""
+        """Resize caches (shrinking evicts LRU entries) / set default workers.
+
+        ``kernel`` rebinds the session's linalg backend (``None`` returns
+        to the process-wide setting); the next parallel batch recycles the
+        worker pool so workers re-pin the new backend.  Cached automata
+        and verdicts stay valid — every backend produces identical bytes.
+        """
         with self._lock:
             if wfa_capacity is not None:
                 self._wfa.resize(wfa_capacity)
@@ -461,6 +531,10 @@ class NKAEngine:
                 self._results.resize(result_capacity)
             if workers is not None:
                 self.workers = max(1, int(workers))
+            if kernel is not _UNSET:
+                self._kernel = (
+                    None if kernel is None else kernels.validate_backend(kernel)
+                )
 
     @property
     def compilations(self) -> int:
@@ -491,6 +565,14 @@ class NKAEngine:
                 "compilations": self._compilations,
                 "decisions": self._decisions,
                 "batches": self._batches,
+                "kernel": {
+                    # The session's configured override (None = follow the
+                    # process default) next to the process-wide counters —
+                    # pool workers keep their own process-local counters.
+                    "configured": self._kernel,
+                    "parallel_compilations": self._parallel_compilations,
+                    **kernels.kernel_stats(),
+                },
                 "warm_start": {
                     "wfas_loaded": self._warm_wfas,
                     "verdicts_loaded": self._warm_verdicts,

@@ -13,13 +13,20 @@ problem rather than a loop:
   the engine's result cache never become tasks at all;
 * **cost ordering** — remaining tasks are ordered cheapest-first using the
   Thompson-fragment state estimate
-  (:func:`repro.automata.wfa.thompson_state_estimate`), so short queries
-  are not stuck behind expensive ones and early results stream back first;
+  (:func:`repro.automata.wfa.thompson_state_estimate`) rescaled by the
+  active kernel backend's measured cost model
+  (:func:`repro.linalg.kernels.compile_cost_estimate` — the numpy stars
+  pay a constant conversion overhead but a much shallower slope), so
+  short queries are not stuck behind expensive ones and early results
+  stream back first;
 * **sharing groups** — tasks are grouped by shared subexpressions
   (connected components of the task–expression graph), the unit the
   executor assigns to one worker: every distinct expression is compiled
   once *per process*, because all tasks needing it land on the same
-  worker.
+  worker.  A group much larger than the chunk budget would serialise the
+  whole batch behind one worker, so :func:`chunk_tasks` splits such
+  monoliths into budget-sized sub-chunks — trading a few duplicated
+  boundary compilations (counted in ``PlanStats``) for parallelism.
 
 Each expression is compiled over its **own** alphabet (the decision is
 alphabet-independent — see :func:`repro.automata.equivalence.wfa_equivalent`
@@ -56,6 +63,12 @@ __all__ = [
 # worker rejoining mid-batch), few enough that queue traffic stays noise.
 CHUNKS_PER_WORKER = 4
 
+# A sharing group whose cost exceeds this many chunk budgets is split into
+# budget-sized sub-chunks instead of travelling whole: keeping it intact
+# would serialise the batch behind one worker, which costs more wall-clock
+# than re-compiling the few expressions straddling a split boundary.
+GROUP_SPLIT_FACTOR = 2
+
 
 # The inline verdict for pointer-equal pairs — the same object the engine's
 # decide() fast path returns, so planner short-circuits are indistinguishable
@@ -88,6 +101,11 @@ class PlanStats:
     distinct_expressions: int = 0
     shared_expression_groups: int = 0
     estimated_cost: int = 0
+    # Filled by chunk_tasks(): sharing groups split across chunks, and how
+    # many distinct expressions ended up in more than one chunk because of
+    # it (each costs one extra per-process compilation).
+    split_groups: int = 0
+    duplicated_expressions: int = 0
 
     @property
     def dedupe_ratio(self) -> float:
@@ -106,6 +124,8 @@ class PlanStats:
             "distinct_expressions": self.distinct_expressions,
             "shared_expression_groups": self.shared_expression_groups,
             "estimated_cost": self.estimated_cost,
+            "split_groups": self.split_groups,
+            "duplicated_expressions": self.duplicated_expressions,
             "dedupe_ratio": round(self.dedupe_ratio, 4),
         }
 
@@ -126,16 +146,35 @@ class BatchPlan:
     stats: PlanStats
 
 
+def _default_cost_estimate(expr: Expr) -> int:
+    """Thompson state count rescaled by the active kernel's cost model.
+
+    With the pure-python backend the rescale is the identity, so plans are
+    byte-identical to releases that ordered by raw state counts; with the
+    numpy backend the measured affine model (constant conversion overhead,
+    shallower slope) reorders large-vs-small ties to match reality.
+    """
+    from repro.linalg import kernels
+
+    return kernels.compile_cost_estimate(thompson_state_estimate(expr))
+
+
 def plan_batch(
     pairs: Sequence[Tuple[Expr, Expr]],
     cached_verdict: Callable[[Expr, Expr], Optional[EquivalenceResult]],
+    cost_estimate: Optional[Callable[[Expr], int]] = None,
 ) -> BatchPlan:
     """Plan a batch against an engine's verdict cache.
 
     ``cached_verdict`` is consulted once per distinct unordered pair (the
     engine passes its result-cache lookup); planning mutates nothing, so a
-    plan can be executed by any worker topology.
+    plan can be executed by any worker topology.  ``cost_estimate`` maps an
+    expression to a relative compile cost (default:
+    :func:`_default_cost_estimate`, which is backend-aware); it only
+    influences ordering and chunking, never verdicts.
     """
+    if cost_estimate is None:
+        cost_estimate = _default_cost_estimate
     stats = PlanStats(queries=len(pairs))
     results: List[Optional[EquivalenceResult]] = [None] * len(pairs)
     task_by_pair: Dict[Tuple[Expr, Expr], PlannedQuery] = {}
@@ -162,7 +201,7 @@ def plan_batch(
             task_id=len(tasks),
             left=left,
             right=right,
-            cost=thompson_state_estimate(left) + thompson_state_estimate(right),
+            cost=cost_estimate(left) + cost_estimate(right),
             positions=[position],
         )
         task_by_pair[(left, right)] = task
@@ -206,6 +245,16 @@ def chunk_tasks(
     backfill), groups cheaper than the target chunk budget coalesce to
     amortise queue traffic, and tasks inside a chunk keep the planner's
     cheapest-first order.
+
+    A *monolithic* group — one sharing group costing more than
+    ``GROUP_SPLIT_FACTOR`` chunk budgets (a batch comparing many variants
+    of one big expression family produces exactly this shape) — is split
+    into budget-sized sub-chunks in task-id order.  Expressions straddling
+    a split boundary compile once per chunk that touches them (the workers'
+    persistent memos absorb repeats across batches); the count of split
+    groups and duplicated expressions is recorded in ``plan.stats`` so the
+    trade stays observable.  Verdicts are unaffected — only which process
+    compiles what.
     """
     if not plan.tasks:
         return []
@@ -224,6 +273,35 @@ def chunk_tasks(
     current: List[PlannedQuery] = []
     current_cost = 0
     for cost, group in costed_groups:
+        if cost > GROUP_SPLIT_FACTOR * budget and len(group) > 1:
+            # Monolithic group: emit budget-sized sub-chunks of its tasks.
+            if current:
+                chunks.append(current)
+                current, current_cost = [], 0
+            first_sub = len(chunks)
+            sub: List[PlannedQuery] = []
+            sub_cost = 0
+            for task_id in sorted(group):
+                task = by_id[task_id]
+                sub.append(task)
+                sub_cost += task.cost
+                if sub_cost >= budget:
+                    chunks.append(sub)
+                    sub, sub_cost = [], 0
+            if sub:
+                chunks.append(sub)
+            if len(chunks) - first_sub > 1:
+                plan.stats.split_groups += 1
+                seen_in: Dict[Expr, int] = {}
+                duplicated: set = set()
+                for chunk_index in range(first_sub, len(chunks)):
+                    for task in chunks[chunk_index]:
+                        for expr in (task.left, task.right):
+                            earlier = seen_in.setdefault(expr, chunk_index)
+                            if earlier != chunk_index:
+                                duplicated.add(expr)
+                plan.stats.duplicated_expressions += len(duplicated)
+            continue
         if current and current_cost + cost > budget:
             chunks.append(current)
             current, current_cost = [], 0

@@ -122,7 +122,7 @@ def pool_context(method: Optional[str] = None):
         return multiprocessing.get_context()
 
 
-def _worker_main(worker_id, conn, fingerprint, memo_capacity):
+def _worker_main(worker_id, conn, fingerprint, memo_capacity, kernel=None):
     """Worker loop: receive chunks on a private pipe, decide, ship back.
 
     Module-level so it survives ``spawn`` pickling.  The compile memo
@@ -131,6 +131,13 @@ def _worker_main(worker_id, conn, fingerprint, memo_capacity):
     parent's WFA-cache size) so a long-lived worker's footprint cannot
     grow without limit; ``shipped`` (also bounded) keeps each WFA from
     crossing the warm-back channel more than once while it stays resident.
+
+    Chunks are kind-tagged: ``"decide"`` chunks carry equality tasks,
+    ``"star"`` chunks carry sparse matrices whose closure the parent's
+    :meth:`SparseMatrix.star_parallel` delegated here (intra-expression
+    parallel ε-elimination).  Both kinds are pure functions of their
+    payload, so the at-least-once/exactly-once merge protocol covers them
+    identically.
     """
     # Preload: importing the pipeline and computing the fingerprint here
     # front-loads the cold-start cost (which `spawn` would otherwise pay on
@@ -138,8 +145,17 @@ def _worker_main(worker_id, conn, fingerprint, memo_capacity):
     # same pipeline before trusting any of its results.
     from repro.engine.executor import decide_pure
     from repro.engine.persist import pipeline_fingerprint
+    from repro.linalg import kernels as _kernels
     from repro.util.cache import LRUCache
 
+    if kernel is not None:
+        try:
+            _kernels.set_backend(kernel)
+        except Exception:
+            # The backend is unavailable in this child (e.g. numpy import
+            # broke under spawn).  The pure-python oracle produces the
+            # same bytes, so running degraded is sound — only slower.
+            pass
     local_fingerprint = pipeline_fingerprint()
     memo = LRUCache("pool-worker.memo", maxsize=memo_capacity, register=False)
     shipped = LRUCache(
@@ -153,21 +169,25 @@ def _worker_main(worker_id, conn, fingerprint, memo_capacity):
             item = conn.recv()
             if item is None:
                 break
-            epoch, chunk_id, tasks = item
+            epoch, chunk_id, kind, tasks = item
             started = time.perf_counter()
-            fresh: List[Expr] = []
-            verdicts: List[Tuple[int, EquivalenceResult]] = []
-            for task_id, left, right in tasks:
-                for expr in (left, right):
-                    if expr not in memo:
-                        fresh.append(expr)
-                verdicts.append((task_id, decide_pure(left, right, memo)))
-            warmback = []
-            for expr in fresh:
-                wfa = memo.peek(expr)  # may already be evicted mid-chunk
-                if wfa is not None and expr not in shipped:
-                    shipped[expr] = True
-                    warmback.append((expr, wfa))
+            warmback: List[Tuple[Expr, WFA]] = []
+            verdicts: List[Tuple[int, object]] = []
+            if kind == "star":
+                for task_id, matrix in tasks:
+                    verdicts.append((task_id, matrix.star()))
+            else:
+                fresh: List[Expr] = []
+                for task_id, left, right in tasks:
+                    for expr in (left, right):
+                        if expr not in memo:
+                            fresh.append(expr)
+                    verdicts.append((task_id, decide_pure(left, right, memo)))
+                for expr in fresh:
+                    wfa = memo.peek(expr)  # may already be evicted mid-chunk
+                    if wfa is not None and expr not in shipped:
+                        shipped[expr] = True
+                        warmback.append((expr, wfa))
             conn.send(
                 (
                     "done",
@@ -237,10 +257,15 @@ class WorkerPool:
         fingerprint: str,
         start_method: Optional[str] = None,
         memo_capacity: int = 4096,
+        kernel: Optional[str] = None,
     ):
         self.size = max(1, int(size))
         self.fingerprint = fingerprint
         self.memo_capacity = max(1, int(memo_capacity))
+        # Kernel backend workers pin at start-up (None = each worker's own
+        # REPRO_KERNEL default).  The owning engine recycles the pool when
+        # its configured kernel changes, exactly like a fingerprint change.
+        self.kernel = kernel
         self._ctx = pool_context(start_method)
         self.start_method = self._ctx.get_start_method()
         self._state_lock = threading.Lock()
@@ -265,7 +290,13 @@ class WorkerPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(worker_id, child_conn, self.fingerprint, self.memo_capacity),
+            args=(
+                worker_id,
+                child_conn,
+                self.fingerprint,
+                self.memo_capacity,
+                self.kernel,
+            ),
             name=f"nka-pool-{worker_id}",
             daemon=True,
         )
@@ -328,7 +359,7 @@ class WorkerPool:
         chunks: Sequence[List[Tuple[int, Expr, Expr]]],
         fallback_decide: Callable[[Expr, Expr], EquivalenceResult],
     ) -> Tuple[Dict[int, EquivalenceResult], PoolBatchOutcome]:
-        """Execute ``chunks`` on the pool; verdicts keyed by task id.
+        """Execute decision ``chunks`` on the pool; verdicts keyed by task id.
 
         At-least-once execution, exactly-once merge: every chunk is decided
         by *some* process (a worker, or the parent through
@@ -336,13 +367,39 @@ class WorkerPool:
         and stale epochs are dropped, and the computation is pure — so the
         merged verdicts are independent of deaths, restarts and scheduling.
         """
+        return self._run("decide", chunks, fallback_decide)
+
+    def run_star_blocks(self, matrices: Sequence) -> List:
+        """Star each sparse matrix on a pool worker; results in input order.
+
+        The block-executor hook of
+        :meth:`repro.linalg.sparse.SparseMatrix.star_parallel`: the
+        independent diagonal blocks of one large ε-matrix close
+        concurrently, one block per chunk so the dealing loop balances
+        them across workers.  ``star`` is pure and the fallback runs the
+        identical method in-process, so the result list is independent of
+        scheduling and worker deaths.
+        """
+        chunks = [[(index, matrix)] for index, matrix in enumerate(matrices)]
+        results, _outcome = self._run(
+            "star", chunks, lambda matrix: matrix.star()
+        )
+        return [results[index] for index in range(len(matrices))]
+
+    def _run(
+        self,
+        kind: str,
+        chunks: Sequence[List[tuple]],
+        fallback: Callable,
+    ) -> Tuple[Dict[int, object], PoolBatchOutcome]:
+        """Shared dealing loop for kind-tagged chunks (see module docs)."""
         if self.closed:
             raise RuntimeError("worker pool is closed")
         self._epoch += 1
         self.batches += 1
         epoch = self._epoch
         outcome = PoolBatchOutcome()
-        verdicts: Dict[int, EquivalenceResult] = {}
+        verdicts: Dict[int, object] = {}
         pending: Dict[int, list] = dict(enumerate(chunks))
         deal: deque = deque(pending)  # chunk ids not yet in flight
         restart_budget = RESTART_BUDGET_PER_SLOT * max(1, self.size)
@@ -405,7 +462,7 @@ class WorkerPool:
                 else:
                     break
                 try:
-                    handle.conn.send((epoch, chunk_id, pending[chunk_id]))
+                    handle.conn.send((epoch, chunk_id, kind, pending[chunk_id]))
                     handle.busy_chunk = chunk_id
                 except (BrokenPipeError, OSError):
                     deal.appendleft(chunk_id)  # death handled next pass
@@ -439,9 +496,9 @@ class WorkerPool:
         if pending:
             started = time.perf_counter()
             for chunk in pending.values():
-                for task_id, left, right in chunk:
-                    verdicts[task_id] = fallback_decide(left, right)
-                    outcome.fallback_task_ids.add(task_id)
+                for task in chunk:
+                    verdicts[task[0]] = fallback(*task[1:])
+                    outcome.fallback_task_ids.add(task[0])
             fallback_seconds = time.perf_counter() - started
             outcome.worker_seconds += fallback_seconds
             outcome.max_chunk_seconds = max(
@@ -496,6 +553,7 @@ class WorkerPool:
             "restarts": self.restarts,
             "fingerprint_rejects": self.fingerprint_rejects,
             "memo_capacity": self.memo_capacity,
+            "kernel": self.kernel,
             "closed": self.closed,
             "fingerprint": self.fingerprint[:12],
         }

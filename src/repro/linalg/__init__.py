@@ -51,10 +51,16 @@ Backend choice
   vectors start as small naturals) falling back to ``Fraction`` echelon
   only when a non-integral vector appears.
 
-Numpy is deliberately *not* used: the coefficients are exact objects
-(``ExtNat``, ``Fraction``, arbitrary-precision ``int``) for which numpy's
-object dtype offers no speedup, and exactness is what makes the procedure
-a decision procedure.
+The pure-python kernels above are the *oracle*: total, exact over
+unbounded integers and ``∞``.  :mod:`repro.linalg.kernels` adds an opt-in
+**vectorized** backend (``REPRO_KERNEL=numpy`` or ``NKAEngine(kernel=
+"numpy")``) with numpy fast paths for the ``BOOL`` and finite-``EXT_NAT``
+hot loops (ε-closure stars, reachability bitsets, int64 RowSpace
+elimination).  Every vectorized kernel either returns the oracle's exact
+bytes or declines — ``∞`` weights, integers beyond the float64/int64
+exact ranges — back to the python code, so exactness (what makes the
+procedure a *decision* procedure) is never traded for speed; see
+``src/repro/linalg/README.md``.
 
 Everything validates shapes eagerly and raises
 :class:`repro.util.errors.DecisionError` carrying the offending shapes —
@@ -62,6 +68,7 @@ dimension bugs surface at the call boundary, not as ``IndexError`` three
 stack frames deep.
 """
 
+from repro.linalg import kernels
 from repro.linalg.dense import (
     dense_add,
     dense_identity,
@@ -98,6 +105,7 @@ from repro.linalg.sparse import (
 )
 
 __all__ = [
+    "kernels",
     "SemiringSpec",
     "EXT_NAT",
     "BOOL",

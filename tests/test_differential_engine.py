@@ -10,9 +10,12 @@ persistent worker pool, this suite pins the conformance surface: a seeded
     steal-aware chunks),
 (b) the **sequential** engine (the planner's in-process path), and
 (c) a **fresh no-cache** oracle (caches wiped before every single pair, so
-    no state whatsoever carries between queries),
+    no state whatsoever carries between queries), and
+(d) the **vectorized-kernel** engine (``kernel="numpy"``, when numpy is
+    importable) — the fast paths of :mod:`repro.linalg.kernels` routed
+    through the same planner and sequential executor,
 
-and all three must produce *identical* verdicts — including the
+and all of them must produce *identical* verdicts — including the
 counterexample word and the deciding reason, compared byte-for-byte on the
 pickled results.  Any divergence means scheduling, caching or the
 warm-back merge leaked into the answers, which the algebra forbids.
@@ -99,6 +102,25 @@ def nocache_verdicts(corpus):
     return verdicts
 
 
+@pytest.fixture(scope="module")
+def numpy_kernel_verdicts(corpus):
+    """(d) The vectorized backend: exact fast paths or recorded declines."""
+    from repro.linalg import kernels
+
+    if not kernels.available_backends()["numpy"]:
+        pytest.skip("numpy not importable")
+    kernels.reset_kernel_stats()
+    with NKAEngine("diff-numpy", kernel="numpy") as engine:
+        verdicts = engine.equal_many_detailed(corpus, workers=1)
+        stats = engine.stats()["kernel"]
+    assert stats["configured"] == "numpy"
+    # The corpus must actually have exercised a vectorized path — a suite
+    # that silently ran the oracle everywhere would prove nothing.
+    vectorized = sum(op["vectorized"] for op in stats["ops"].values())
+    assert vectorized > 0, f"no vectorized kernel engaged: {stats['ops']}"
+    return verdicts
+
+
 def test_corpus_is_the_mandated_200_pairs(corpus):
     assert len(corpus) == CORPUS_SIZE
 
@@ -119,6 +141,18 @@ def test_sequential_equals_nocache_bytewise(sequential_verdicts, nocache_verdict
     ):
         assert pickle.dumps(sequential) == pickle.dumps(oracle), (
             f"pair #{index}: sequential {sequential} != no-cache oracle {oracle}"
+        )
+
+
+def test_numpy_kernel_equals_sequential_bytewise(
+    numpy_kernel_verdicts, sequential_verdicts
+):
+    """Vectorized kernels must be invisible in the answers — exact bytes."""
+    for index, (fast, sequential) in enumerate(
+        zip(numpy_kernel_verdicts, sequential_verdicts)
+    ):
+        assert pickle.dumps(fast) == pickle.dumps(sequential), (
+            f"pair #{index}: numpy-kernel {fast} != sequential {sequential}"
         )
 
 

@@ -111,6 +111,51 @@ class TestPlanner:
         assert plan.tasks == []
         assert plan.results == [sentinel]
 
+    def test_monolithic_group_splits_into_subchunks(self):
+        """One giant sharing group must not serialise the whole pool."""
+        from repro.engine.planner import chunk_tasks
+
+        # Every pair shares the hub expression → a single sharing group.
+        hub = parse("(a b)* (b a)*")
+        pairs = [
+            (hub, product_of([Symbol("a")] * (index + 1)))
+            for index in range(24)
+        ]
+        plan = plan_batch(pairs, lambda left, right: None)
+        assert len(plan.groups) == 1 and len(plan.groups[0]) == 24
+        chunks = chunk_tasks(plan, workers=4)
+        assert len(chunks) > 1, "monolithic group was not split"
+        assert plan.stats.split_groups == 1
+        # The hub appears in every sub-chunk, so it is counted duplicated.
+        assert plan.stats.duplicated_expressions >= 1
+        # Splitting reorders nothing and loses nothing: the chunks
+        # partition the task set in task-id order.
+        flattened = [task.task_id for chunk in chunks for task in chunk]
+        assert flattened == sorted(task.task_id for task in plan.tasks)
+        assert plan.stats.as_dict()["split_groups"] == 1
+
+    def test_small_groups_stay_whole(self):
+        """Sub-budget sharing groups keep the seed coalescing behaviour."""
+        from repro.engine.planner import chunk_tasks
+
+        pairs = [
+            (parse(f"{left} {left}"), parse(f"{left} {left} {left}"))
+            for left in ("a", "b", "c", "d", "e", "f")
+        ]
+        plan = plan_batch(pairs, lambda left, right: None)
+        assert len(plan.groups) == len(pairs)  # nothing shared
+        chunks = chunk_tasks(plan, workers=2)
+        assert plan.stats.split_groups == 0
+        assert plan.stats.duplicated_expressions == 0
+        chunk_of = {}
+        for chunk_index, chunk in enumerate(chunks):
+            for task in chunk:
+                chunk_of[task.task_id] = chunk_index
+        for group in plan.groups:
+            assert len({chunk_of[task_id] for task_id in group}) == 1, (
+                "a sub-budget sharing group was torn across chunks"
+            )
+
 
 class TestBatchSemantics:
     def test_batch_verdicts_byte_identical_to_sequential(self, monkeypatch):
