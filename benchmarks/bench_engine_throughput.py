@@ -20,7 +20,13 @@ batch API:
 * **kernel backends** (PR 6) — cold compile + decide under
   ``NKAEngine(kernel="python")`` vs ``kernel="numpy"``: verdicts must be
   identical and the vectorized cold compile at least 2× faster
-  (``--check``); per-op vectorized/fallback counters land in the JSON.
+  (``--check``); per-op vectorized/fallback counters land in the JSON;
+* **compile store** (PR 8) — two fresh engines sharing one
+  content-addressed :class:`~repro.engine.store.CompileStore`: the first
+  (``store_cold``) compiles + publishes everything, the second
+  (``store_served``) must answer the same batch with *zero* compilations
+  in at most 10% of the cold compile time (``--check``); store
+  hit/publish counters land in the JSON.
 
 The baseline below is a faithful reimplementation of the PR 3 sequential
 ``nka_equal_many``: union-alphabet compilation + the dense-iteration Tzeng
@@ -431,6 +437,62 @@ def run_suite(total_pairs, workers_sweep, json_path=None, check=False, rounds=3)
     verdicts_by_config["warm"] = warm_verdicts
     os.unlink(state_path)
 
+    # -- compile store: fleet-wide warm reuse (PR 8 tentpole) ---------------
+    # Two fresh engines against one shared CompileStore directory: the
+    # *cold* one faces an empty store (compiles + publishes everything),
+    # the *served* one runs right after against the populated store and
+    # must compile nothing — its automata all deserialize off disk.  Both
+    # are timed on the same compile-loop + equal_many shape as the kernel
+    # section, best-of-rounds per metric, store wiped before each cold
+    # round so a round never rides the previous round's publishes.
+    import shutil
+
+    store_root = tempfile.mkdtemp(suffix=".nka-store")
+    store_best = {
+        label: {"compile": float("inf"), "decide": float("inf"),
+                "total": float("inf"), "stats": None, "verdicts": None}
+        for label in ("store_cold", "store_served")
+    }
+    for _ in range(rounds):
+        shutil.rmtree(store_root, ignore_errors=True)
+        for label in ("store_cold", "store_served"):
+            _cold()
+            with NKAEngine(f"bench-{label}", store=store_root) as candidate:
+                started = time.perf_counter()
+                for left, right in batch:
+                    candidate.compile(left)
+                    candidate.compile(right)
+                compile_seconds = time.perf_counter() - started
+                started = time.perf_counter()
+                candidate_verdicts = candidate.equal_many(batch)
+                decide_seconds = time.perf_counter() - started
+                stats = candidate.stats()
+            if label == "store_served":
+                assert stats["compilations"] == 0, (
+                    f"store-served engine compiled {stats['compilations']} automata"
+                )
+            best = store_best[label]
+            best["compile"] = min(best["compile"], compile_seconds)
+            best["decide"] = min(best["decide"], decide_seconds)
+            if compile_seconds + decide_seconds < best["total"]:
+                best.update(
+                    total=compile_seconds + decide_seconds,
+                    stats=stats, verdicts=candidate_verdicts,
+                )
+    for label, best in store_best.items():
+        results["configs"][label] = {
+            "compile_seconds": round(best["compile"], 4),
+            "decide_seconds": round(best["decide"], 4),
+            "total_seconds": round(best["total"], 4),
+            "compilations": best["stats"]["compilations"],
+            "store": best["stats"]["store"],
+        }
+        verdicts_by_config[label] = best["verdicts"]
+    results["configs"]["store_served"]["compile_speedup_vs_cold"] = round(
+        store_best["store_cold"]["compile"] / store_best["store_served"]["compile"], 2
+    )
+    shutil.rmtree(store_root, ignore_errors=True)
+
     for label, verdicts in verdicts_by_config.items():
         assert verdicts == baseline, f"verdict divergence in config {label}"
     results["verdicts_identical"] = True
@@ -478,6 +540,18 @@ def run_suite(total_pairs, workers_sweep, json_path=None, check=False, rounds=3)
                 "numpy kernel cold-compile speedup fell below the 2x gate: "
                 f"{numpy_cfg['compile_speedup_vs_python']}x"
             )
+        # The compile store's headline gate: an engine served entirely out
+        # of a fleet-populated store compiles nothing and spends at most
+        # 10% of the cold engine's compile time deserializing it all.
+        served = results["configs"]["store_served"]
+        cold = results["configs"]["store_cold"]
+        assert served["compilations"] == 0, (
+            f"store-served engine compiled {served['compilations']} automata"
+        )
+        assert served["compile_seconds"] <= cold["compile_seconds"] * 0.1, (
+            "store-served compile phase exceeded 10% of cold compile: "
+            f"{served['compile_seconds']:.3f}s vs {cold['compile_seconds']:.3f}s"
+        )
     return results
 
 
@@ -519,6 +593,23 @@ def test_engine_warm_reload_zero_compilations(small_suite):
         "ENGINE/warm-start",
         "persisted state answers a known batch with zero compilations",
         f"warm reload {warm['seconds']}s, speedup {warm['speedup_vs_pr3']}×",
+    )
+
+
+def test_engine_store_served_zero_compilations(small_suite):
+    served = small_suite["configs"]["store_served"]
+    cold = small_suite["configs"]["store_cold"]
+    assert served["compilations"] == 0
+    assert cold["compilations"] > 0
+    assert served["store"]["parent_hits"] > 0
+    # Timer noise swamps smoke-sized runs; the strict 0.1× gate rides on
+    # the CI sweep (--check).  Served must still be clearly cheaper.
+    assert served["compile_seconds"] < cold["compile_seconds"]
+    report(
+        "ENGINE/store",
+        "a fleet-populated store serves a fresh engine without compiling",
+        f"served compile {served['compile_seconds']}s vs cold "
+        f"{cold['compile_seconds']}s ({served['compile_speedup_vs_cold']}×)",
     )
 
 

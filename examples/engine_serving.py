@@ -15,7 +15,16 @@ example walks the levers :class:`repro.engine.NKAEngine` adds:
    changing a verdict;
 4. **persistent warm start** — serialize the caches (including what the
    *workers* compiled), reload in a fresh session or process, and answer a
-   known workload with zero compilations.
+   known workload with zero compilations;
+5. **a shared compile store** — two replica engines pointed at one
+   content-addressed directory (``NKAEngine(store=...)`` or the
+   ``REPRO_COMPILE_STORE`` env var): the first replica compiles and
+   publishes, the second answers the same traffic with *zero*
+   compilations, deserializing every automaton off disk.  Unlike warm
+   state (an explicit snapshot of one session), the store is fleet-wide
+   and always-on — every compile anywhere lands in it at most once, and
+   inspection/garbage collection ship as an ops CLI:
+   ``python -m repro.engine.store describe|gc <dir>``.
 """
 
 import os
@@ -144,6 +153,42 @@ def main() -> None:
     print(f"  lax mode starts cold instead: "
           f"{survivor.stats()['warm_start']['verdicts_loaded']} verdicts loaded")
     os.unlink(state_path)
+
+    section("5. Two replicas sharing one compile store")
+    # Replica A faces an empty store: it compiles the whole workload and
+    # publishes each automaton (content-addressed, at most once).  Replica
+    # B — a *fresh* engine, as if on another host mounting the same
+    # directory — answers the identical traffic without compiling at all.
+    store_root = os.path.join(tempfile.gettempdir(), "nka-store-example")
+    with NKAEngine("replica-a", store=store_root) as replica_a:
+        started = time.perf_counter()
+        store_verdicts = replica_a.equal_many(batch)
+        elapsed = time.perf_counter() - started
+        a_store = replica_a.stats()["store"]
+        print(f"  replica A: {elapsed * 1000:.1f} ms, "
+              f"{replica_a.stats()['compilations']} compilations, "
+              f"{a_store['parent_publishes']} automata published "
+              f"({a_store['bytes']} bytes on disk)")
+
+    with NKAEngine("replica-b", store=store_root) as replica_b:
+        started = time.perf_counter()
+        replica_verdicts = replica_b.equal_many(batch)
+        elapsed = time.perf_counter() - started
+        b_store = replica_b.stats()["store"]
+        print(f"  replica B: {elapsed * 1000:.1f} ms, "
+              f"{replica_b.stats()['compilations']} compilations "
+              f"({b_store['parent_hits']} served from the store)")
+        assert replica_verdicts == store_verdicts
+        assert replica_b.stats()["compilations"] == 0
+
+    # Fleet ops: `python -m repro.engine.store describe <dir>` prints the
+    # same report; `... gc <dir> --max-bytes N` evicts oldest-first and
+    # sweeps stale fingerprints after a pipeline change.
+    from repro.engine import describe_store, gc_store
+
+    print(f"  describe: {describe_store(store_root)}")
+    print(f"  gc (empty the store): "
+          f"{gc_store(store_root, max_bytes=0)}")
 
 
 if __name__ == "__main__":

@@ -15,6 +15,12 @@ Public surface:
 * the persistence layer — :class:`WarmState`, :func:`pipeline_fingerprint`,
   :class:`WarmStateError` / :class:`StaleWarmStateError`,
   :func:`describe_warm_state` (:mod:`repro.engine.persist`);
+* the shared compile store — :class:`~repro.engine.store.CompileStore`, a
+  content-addressed directory of compiled automata that many engines,
+  processes and hosts read/write concurrently (``NKAEngine(store=...)`` /
+  ``REPRO_COMPILE_STORE``), with :func:`describe_store` / :func:`gc_store`
+  and a ``python -m repro.engine.store`` ops CLI
+  (:mod:`repro.engine.store`);
 * planner/executor introspection types for tooling —
   :class:`~repro.engine.planner.BatchPlan`,
   :class:`~repro.engine.executor.ExecutionReport`.
@@ -56,6 +62,26 @@ from repro.engine.planner import (
 )
 from repro.engine.pool import WorkerPool, pool_context
 
+# The store's names resolve lazily (PEP 562): `python -m repro.engine.store`
+# imports this package first, and an eager submodule import here would leave
+# the CLI's module in sys.modules before runpy executes it — a double-import
+# warning on every ops invocation.
+_STORE_EXPORTS = (
+    "CompileStore",
+    "describe_store",
+    "gc_store",
+    "open_default_store",
+)
+
+
+def __getattr__(name: str):
+    if name in _STORE_EXPORTS:
+        from repro.engine import store
+
+        return getattr(store, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "NKAEngine",
     "default_engine",
@@ -69,6 +95,10 @@ __all__ = [
     "chunk_tasks",
     "WorkerPool",
     "pool_context",
+    "CompileStore",
+    "describe_store",
+    "gc_store",
+    "open_default_store",
     "WarmState",
     "WarmStateError",
     "StaleWarmStateError",

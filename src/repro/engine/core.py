@@ -32,6 +32,7 @@ them is exactly what makes a second engine in the same process cheap.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import asdict
@@ -39,11 +40,22 @@ from itertools import product as _words_product
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.automata.equivalence import EquivalenceResult, wfa_equivalent
-from repro.automata.wfa import WFA, expr_to_wfa
+from repro.automata.wfa import (
+    PARALLEL_EPSILON_MIN_STATES,
+    WFA,
+    expr_to_wfa,
+    thompson_state_estimate,
+)
 from repro.core.expr import Expr, alphabet
 from repro.core.semiring import ExtNat
-from repro.engine.executor import ExecutionReport, execute_tasks
-from repro.engine.planner import IDENTICAL_RESULT, PlanStats, plan_batch
+from repro.engine.executor import MIN_TASKS_FOR_POOL, ExecutionReport, execute_tasks
+from repro.engine.planner import (
+    IDENTICAL_RESULT,
+    PlanStats,
+    _default_cost_estimate,
+    cached_aware_cost_estimate,
+    plan_batch,
+)
 from repro.engine.pool import WorkerPool
 from repro.engine.persist import (
     StaleWarmStateError,
@@ -95,6 +107,16 @@ class NKAEngine:
             fingerprint mismatch) raises
             :class:`~repro.engine.persist.StaleWarmStateError` unless
             ``strict_warm_state=False``, which falls back to a cold start.
+        store: a shared :class:`~repro.engine.store.CompileStore` (or a
+            directory path to open one at) consulted on every compile-cache
+            miss and fed by every fresh compilation — including the pool's
+            warm-back entries, published at most once each — so a fleet of
+            engines across processes and hosts compiles each expression
+            once.  ``None`` (default) follows ``REPRO_COMPILE_STORE``;
+            pass ``store=False`` to disable the store even when the
+            environment variable is set.  Store failures of any kind are
+            counted, never raised: an engine without its store is merely
+            colder.
         cache_namespace: prefix for the cache names; the default engine
             passes ``"decision"`` to keep the historical global names.
         register_globally: also register this engine's caches in the
@@ -118,6 +140,7 @@ class NKAEngine:
         kernel: Optional[str] = None,
         warm_state: Union[None, str, WarmState] = None,
         strict_warm_state: bool = True,
+        store: Union[None, bool, str, CompileStore] = None,
         cache_namespace: Optional[str] = None,
         register_globally: bool = False,
     ):
@@ -141,6 +164,27 @@ class NKAEngine:
         self._kernel = (
             None if kernel is None else kernels.validate_backend(kernel)
         )
+        # The store module is imported only when a store is actually
+        # configured: `python -m repro.engine.store` (the ops CLI) imports
+        # this package — through the default engine built at `import repro`
+        # — and the store module sitting in sys.modules before runpy
+        # executes it would trip a double-import warning on every CLI call.
+        if store is None:
+            root = os.environ.get("REPRO_COMPILE_STORE")
+            if root:
+                from repro.engine.store import CompileStore
+
+                self._store: Optional["CompileStore"] = CompileStore(root)
+            else:
+                self._store = None
+        elif store is False:
+            self._store = None
+        elif isinstance(store, str):
+            from repro.engine.store import CompileStore
+
+            self._store = CompileStore(store)
+        else:
+            self._store = store
         self._pool: Optional[WorkerPool] = None
         self._lock = threading.RLock()
         # Serialises batch execution: the pool's shared queues carry one
@@ -162,6 +206,11 @@ class NKAEngine:
 
     def _reset_lifetime_executor_stats(self) -> None:
         self._parallel_compilations = 0
+        self._auto_parallel_compilations = 0
+        self._store_hits = 0
+        self._store_publishes = 0
+        self._store_worker_hits = 0
+        self._store_errors = 0
         self._tasks_executed = 0
         self._sequential_batches = 0
         self._pooled_batches = 0
@@ -186,12 +235,50 @@ class NKAEngine:
             cached = self._wfa.get(expr)
             if cached is not None:
                 return cached
+        served = self._store_lookup(expr)
+        if served is not None:
+            return served
         with kernels.use_backend(self._kernel):
             wfa = expr_to_wfa(expr)
         with self._lock:
             self._compilations += 1
             self._wfa.put(expr, wfa)
+        self._store_publish(expr, wfa)
         return wfa
+
+    def _store_lookup(self, expr: Expr) -> Optional[WFA]:
+        """Consult the shared store on a compile-cache miss; a hit lands in
+        the session cache (and counts as a hit, not a compilation)."""
+        store = self._store
+        if store is None:
+            return None
+        try:
+            wfa = store.get(expr)
+        except Exception:
+            with self._lock:
+                self._store_errors += 1
+            return None
+        if wfa is None:
+            return None
+        with self._lock:
+            self._store_hits += 1
+            self._wfa.put(expr, wfa)
+        return wfa
+
+    def _store_publish(self, expr: Expr, wfa: WFA) -> None:
+        """Offer a freshly compiled automaton to the fleet (never raises)."""
+        store = self._store
+        if store is None:
+            return
+        try:
+            published = store.publish(expr, wfa)
+        except Exception:
+            with self._lock:
+                self._store_errors += 1
+            return
+        if published:
+            with self._lock:
+                self._store_publishes += 1
 
     def compile_parallel(self, expr: Expr, workers: Optional[int] = None) -> WFA:
         """Compile one expression with intra-expression parallel ε-elimination.
@@ -216,15 +303,34 @@ class NKAEngine:
         if effective_workers <= 1:
             return self.compile(expr)
         with self._exec_lock:
-            pool = self._ensure_pool(effective_workers)
-            with kernels.use_backend(self._kernel):
-                wfa = expr_to_wfa(
-                    expr, epsilon_block_executor=pool.run_star_blocks
-                )
+            return self._compile_parallel_in_exec(expr, effective_workers)
+
+    def _compile_parallel_in_exec(
+        self, expr: Expr, workers: int, auto: bool = False
+    ) -> WFA:
+        """Body of :meth:`compile_parallel`; assumes ``_exec_lock`` is held.
+
+        Split out so batch execution can auto-route a dominant expression
+        through block ε-elimination from *inside* its own ``_exec_lock``
+        section — re-acquiring a non-reentrant lock would deadlock.
+        """
+        with self._lock:
+            cached = self._wfa.get(expr)
+            if cached is not None:
+                return cached
+        served = self._store_lookup(expr)
+        if served is not None:
+            return served
+        pool = self._ensure_pool(workers)
+        with kernels.use_backend(self._kernel):
+            wfa = expr_to_wfa(expr, epsilon_block_executor=pool.run_star_blocks)
         with self._lock:
             self._compilations += 1
             self._parallel_compilations += 1
+            if auto:
+                self._auto_parallel_compilations += 1
             self._wfa.put(expr, wfa)
+        self._store_publish(expr, wfa)
         return wfa
 
     def equal_detailed(self, left: Expr, right: Expr) -> EquivalenceResult:
@@ -262,6 +368,68 @@ class NKAEngine:
         with self._lock:
             return self._results.get((left, right))
 
+    def _is_compiled(self, expr: Expr) -> bool:
+        """Planner probe: is this expression's automaton already available
+        without compiling (session cache or shared store)?  Wrong answers
+        (e.g. a racing eviction) only skew ordering, never verdicts."""
+        with self._lock:
+            if expr in self._wfa:
+                return True
+        store = self._store
+        if store is None:
+            return False
+        try:
+            return store.contains(expr)
+        except Exception:
+            with self._lock:
+                self._store_errors += 1
+            return False
+
+    def _auto_parallel_candidates(
+        self, plan, workers: int
+    ) -> List[Expr]:
+        """Expressions a small batch should compile via block ε-elimination.
+
+        The executor sends batches below
+        :data:`~repro.engine.executor.MIN_TASKS_FOR_POOL` tasks down the
+        sequential path — correct for many small tasks, wasteful when one
+        expression above
+        :data:`~repro.automata.wfa.PARALLEL_EPSILON_MIN_STATES` states
+        carries at least half the plan's estimated compile cost: the
+        workers would idle while the parent grinds one giant ε-closure.
+        Those dominant expressions (at most two can clear the ½ bar) are
+        returned for pre-compilation through
+        :meth:`_compile_parallel_in_exec`; counted in
+        ``auto_parallel_compilations``.
+        """
+        if not plan.tasks or len(plan.tasks) >= MIN_TASKS_FOR_POOL:
+            return []
+        capped = workers
+        if os.environ.get("REPRO_ENGINE_OVERSUBSCRIBE") != "1":
+            capped = min(capped, os.cpu_count() or 1)
+        if capped <= 1:
+            return []
+        distinct: List[Expr] = []
+        seen = set()
+        for task in plan.tasks:
+            for expr in (task.left, task.right):
+                if expr not in seen:
+                    seen.add(expr)
+                    distinct.append(expr)
+        with self._lock:
+            pending = [expr for expr in distinct if expr not in self._wfa]
+        if not pending:
+            return []
+        with kernels.use_backend(self._kernel):
+            costs = {expr: _default_cost_estimate(expr) for expr in pending}
+            total = sum(costs.values())
+            return [
+                expr
+                for expr in pending
+                if costs[expr] * 2 >= total
+                and thompson_state_estimate(expr) >= PARALLEL_EPSILON_MIN_STATES
+            ]
+
     # -- batch API ---------------------------------------------------------
 
     def equal_many_detailed(
@@ -281,11 +449,26 @@ class NKAEngine:
         plan_started = time.perf_counter()
         # The planner's cost model is backend-aware (numpy stars carry a
         # constant conversion overhead and a shallower slope), so planning
-        # runs under this session's kernel too.
+        # runs under this session's kernel too.  With a compile store
+        # attached, expressions whose automata are already available —
+        # session cache or store — cost ~nothing, so ordering and chunking
+        # see the batch's *residual* work, not phantom compilations.
         with kernels.use_backend(self._kernel):
-            plan = plan_batch(pairs, self._cached_verdict)
+            cost_estimate = None
+            if self._store is not None:
+                cost_estimate = cached_aware_cost_estimate(
+                    _default_cost_estimate, self._is_compiled
+                )
+            plan = plan_batch(pairs, self._cached_verdict, cost_estimate=cost_estimate)
         plan_seconds = time.perf_counter() - plan_started
         with self._exec_lock:
+            for expr in self._auto_parallel_candidates(plan, effective_workers):
+                # A small batch dominated by one big compilation gains
+                # nothing from task-level workers (there is only one task
+                # that matters) — but its ε-elimination blocks parallelise.
+                # Pre-compiling here warms the cache the sequential
+                # executor path is about to read; verdicts are unaffected.
+                self._compile_parallel_in_exec(expr, effective_workers, auto=True)
             with kernels.use_backend(self._kernel):
                 verdicts, report, warmback = execute_tasks(
                     plan,
@@ -307,6 +490,19 @@ class NKAEngine:
                 self._store_verdict(task.left, task.right, result)
             for position in task.positions:
                 plan.results[position] = result
+        # Warm-back to the *fleet*: what the workers compiled this batch is
+        # offered to the shared store too (outside the engine lock — this
+        # is disk I/O), each entry at most once — the store's own
+        # existing-entry skip dedupes against other publishers.
+        if self._store is not None and warmback:
+            try:
+                published = self._store.publish_many(warmback)
+            except Exception:
+                with self._lock:
+                    self._store_errors += 1
+            else:
+                with self._lock:
+                    self._store_publishes += published
         with self._lock:
             # Warm-back merge: worker-compiled automata join this session's
             # cache (bounded by the LRU, deduped by interned node) so the
@@ -316,6 +512,7 @@ class NKAEngine:
             self._warmback_returned += len(warmback)
             self._warmback_merged += merged
             self._warmback_skipped += skipped
+            self._store_worker_hits += report.store_hits
             self._batches += 1
             self._tasks_executed += report.tasks
             if report.mode == "sequential":
@@ -407,6 +604,10 @@ class NKAEngine:
                 # parent bounds its WFA cache.
                 memo_capacity=self._wfa.maxsize,
                 kernel=self._kernel,
+                # Workers reopen the engine's store read-only: a cold
+                # worker on a second host starts warm from the fleet's
+                # published compilations.
+                store_spec=None if self._store is None else self._store.spec(),
             )
             with self._lock:
                 self._pool = pool
@@ -541,6 +742,11 @@ class NKAEngine:
         """Automata actually compiled by this session (cache misses)."""
         return self._compilations
 
+    @property
+    def store(self) -> Optional[CompileStore]:
+        """The shared compile store this session consults, if any."""
+        return self._store
+
     def stats(self) -> Dict[str, object]:
         """One JSON-dumpable report unifying every per-session counter.
 
@@ -571,7 +777,20 @@ class NKAEngine:
                     # pool workers keep their own process-local counters.
                     "configured": self._kernel,
                     "parallel_compilations": self._parallel_compilations,
+                    "auto_parallel_compilations": self._auto_parallel_compilations,
                     **kernels.kernel_stats(),
+                },
+                "store": None
+                if self._store is None
+                else {
+                    **self._store.stats(),
+                    # This engine's slice of the shared counters: compiles
+                    # it avoided (parent-side), entries it contributed, and
+                    # compiles its pool workers avoided.
+                    "parent_hits": self._store_hits,
+                    "parent_publishes": self._store_publishes,
+                    "worker_hits": self._store_worker_hits,
+                    "errors": self._store_errors,
                 },
                 "warm_start": {
                     "wfas_loaded": self._warm_wfas,

@@ -63,6 +63,7 @@ class ExecutionReport:
         "restarts",
         "fallback_task_ids",
         "warmback_returned",
+        "store_hits",
     )
 
     def __init__(
@@ -77,6 +78,7 @@ class ExecutionReport:
         restarts: int = 0,
         fallback_task_ids: Optional[set] = None,
         warmback_returned: int = 0,
+        store_hits: int = 0,
     ):
         self.workers = workers
         self.mode = mode
@@ -88,6 +90,8 @@ class ExecutionReport:
         self.restarts = restarts
         self.fallback_task_ids = fallback_task_ids or set()
         self.warmback_returned = warmback_returned
+        # Compilations pool workers served from the shared compile store.
+        self.store_hits = store_hits
 
     @property
     def fallback_tasks(self) -> int:
@@ -105,6 +109,7 @@ class ExecutionReport:
             "restarts": self.restarts,
             "fallback_tasks": self.fallback_tasks,
             "warmback_returned": self.warmback_returned,
+            "store_hits": self.store_hits,
         }
 
 
@@ -209,5 +214,6 @@ def execute_tasks(
         restarts=outcome.restarts,
         fallback_task_ids=outcome.fallback_task_ids,
         warmback_returned=len(outcome.warmback),
+        store_hits=outcome.store_hits,
     )
     return verdicts, report, outcome.warmback

@@ -40,14 +40,19 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.automata.equivalence import EquivalenceResult
 from repro.automata.wfa import WFA
-from repro.core.expr import Expr
+from repro.core.expr import Expr, One, Product, Star, Sum, Symbol, Zero
+from repro.util.cache import LRUCache
 
 __all__ = [
     "PERSIST_FORMAT",
+    "PICKLE_PROTOCOL",
     "WarmState",
     "WarmStateError",
     "StaleWarmStateError",
     "pipeline_fingerprint",
+    "expr_digest",
+    "dumps_artifact",
+    "loads_artifact",
     "make_warm_state",
     "save_warm_state",
     "load_warm_state",
@@ -55,6 +60,35 @@ __all__ = [
 ]
 
 PERSIST_FORMAT = 1
+
+# The one pickling contract for every persisted compile artefact: the warm
+# state (this module) and the content-addressed compile store
+# (:mod:`repro.engine.store`) must serialize identically, or a WFA written
+# by one tier could fail to round-trip through the other.
+PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def dumps_artifact(obj: Any) -> bytes:
+    """Serialize a persisted artefact under the shared pickling contract."""
+    return pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
+
+
+def loads_artifact(data: bytes) -> Any:
+    """Deserialize persisted bytes, mapping every decode failure to
+    :class:`WarmStateError` — callers never see raw pickle internals."""
+    try:
+        return pickle.loads(data)
+    except (
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ImportError,
+        IndexError,
+        MemoryError,
+        TypeError,
+        ValueError,
+    ) as error:
+        raise WarmStateError(f"persisted artefact is not decodable: {error}") from error
 
 # Modules whose source determines the meaning of persisted artefacts.  A
 # change to any of them (new node layout, different ε-elimination, a Tzeng
@@ -80,6 +114,22 @@ def pipeline_fingerprint() -> str:
 
     Computed once per process (the sources cannot change under a running
     interpreter in any way that matters to already-imported code).
+
+    The module list is deliberately **planner-independent**:
+    ``repro.engine.planner`` (and the executor/pool around it) only decide
+    *which process compiles what in which order* — never the bytes of a
+    compiled automaton or a verdict — so reordering or rechunking logic
+    must not invalidate every persisted artefact in the fleet.  Only
+    modules whose source determines artefact *meaning* (interning, the
+    Thompson construction, ε-elimination, Tzeng, the semiring kernels)
+    participate; ``tests/test_compile_store.py`` pins the exact list.
+
+    Raises :class:`WarmStateError` when any fingerprint module has no
+    readable source file (e.g. a ``.pyc``-only install): silently skipping
+    a module would fingerprint an *incomplete* pipeline, and two hosts
+    with different missing subsets would collide on the same fingerprint
+    while running different code — exactly the wrong-WFA scenario the
+    fingerprint exists to prevent.
     """
     global _FINGERPRINT
     if _FINGERPRINT is None:
@@ -89,11 +139,60 @@ def pipeline_fingerprint() -> str:
             module = importlib.import_module(name)
             source = getattr(module, "__file__", None)
             digest.update(name.encode())
-            if source and os.path.exists(source):
-                with open(source, "rb") as handle:
-                    digest.update(handle.read())
+            if not source or not os.path.exists(source):
+                raise WarmStateError(
+                    f"cannot fingerprint pipeline: module {name!r} has no "
+                    f"readable source file ({source!r}); refusing to stamp "
+                    "artefacts with an incomplete pipeline fingerprint"
+                )
+            with open(source, "rb") as handle:
+                digest.update(handle.read())
         _FINGERPRINT = digest.hexdigest()
     return _FINGERPRINT
+
+
+_DIGEST_CACHE = LRUCache("persist.expr_digest", maxsize=1 << 16)
+
+
+def expr_digest(expr: Expr) -> str:
+    """Content digest of an interned expression, stable across hosts.
+
+    A Merkle-style sha256 over the syntax tree: each node hashes its
+    constructor tag plus its children's digests (symbols length-prefix
+    their name, so ``ab·c`` and ``a·bc`` cannot collide).  Because nodes
+    are hash-consed, the digest memoizes per interned node — digesting a
+    batch costs one hash per *distinct* subterm, and two processes (or two
+    hosts) always derive the same digest for structurally equal
+    expressions, which is what lets the compile store address artefacts by
+    content instead of by session.
+    """
+    cached = _DIGEST_CACHE.get(expr)
+    if cached is not None:
+        return cached
+    if isinstance(expr, Zero):
+        encoded = b"Z"
+    elif isinstance(expr, One):
+        encoded = b"E"
+    elif isinstance(expr, Symbol):
+        name = expr.name.encode("utf-8")
+        encoded = b"S%d:%s" % (len(name), name)
+    elif isinstance(expr, Sum):
+        encoded = b"+%s%s" % (
+            expr_digest(expr.left).encode(),
+            expr_digest(expr.right).encode(),
+        )
+    elif isinstance(expr, Product):
+        encoded = b".%s%s" % (
+            expr_digest(expr.left).encode(),
+            expr_digest(expr.right).encode(),
+        )
+    elif isinstance(expr, Star):
+        encoded = b"*%s" % expr_digest(expr.body).encode()
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot digest non-expression {expr!r}")
+    digest = hashlib.sha256(encoded).hexdigest()
+    _DIGEST_CACHE.put(expr, digest)
+    return digest
 
 
 class WarmStateError(RuntimeError):
@@ -135,7 +234,7 @@ def save_warm_state(state: WarmState, path: str) -> str:
     )
     try:
         with os.fdopen(descriptor, "wb") as handle:
-            pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(dumps_artifact(state))
         os.replace(tmp_path, path)
     except BaseException:
         try:
@@ -155,10 +254,12 @@ def _read_state(path: str) -> WarmState:
     """
     try:
         with open(path, "rb") as handle:
-            state = pickle.load(handle)
+            data = handle.read()
     except OSError as error:
         raise WarmStateError(f"cannot read warm state {path!r}: {error}") from error
-    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as error:
+    try:
+        state = loads_artifact(data)
+    except WarmStateError as error:
         raise WarmStateError(
             f"warm state {path!r} is not a valid snapshot: {error}"
         ) from error

@@ -55,8 +55,16 @@ __all__ = [
     "BatchPlan",
     "plan_batch",
     "chunk_tasks",
+    "cached_aware_cost_estimate",
+    "CACHED_COST",
     "IDENTICAL_RESULT",
 ]
+
+# The nominal cost of an expression whose automaton is already available
+# (compile cache or compile store): not zero — a store hit still pays a
+# read + decode — but small enough that ordering and chunking treat it like
+# a verdict-cache hit rather than a compilation.
+CACHED_COST = 1
 
 # Aim for this many chunks per pool slot: enough slack that a fast worker
 # pulls more work instead of idling behind a straggler (or a restarted
@@ -157,6 +165,29 @@ def _default_cost_estimate(expr: Expr) -> int:
     from repro.linalg import kernels
 
     return kernels.compile_cost_estimate(thompson_state_estimate(expr))
+
+
+def cached_aware_cost_estimate(
+    base: Callable[[Expr], int],
+    is_cached: Callable[[Expr], bool],
+) -> Callable[[Expr], int]:
+    """A cost estimate that treats already-compiled expressions as near-free.
+
+    ``is_cached`` answers "is this expression's automaton already available
+    without compiling?" — the engine passes a probe over its compile cache
+    *plus* the shared :class:`~repro.engine.store.CompileStore`, so a batch
+    against a populated store orders and chunks as the nearly-free workload
+    it actually is instead of as a wall of phantom compilations.  Cost only
+    influences ordering/chunking, never verdicts, so a wrong (raced) answer
+    from ``is_cached`` costs at most a suboptimal schedule.
+    """
+
+    def estimate(expr: Expr) -> int:
+        if is_cached(expr):
+            return CACHED_COST
+        return base(expr)
+
+    return estimate
 
 
 def plan_batch(

@@ -122,7 +122,50 @@ def pool_context(method: Optional[str] = None):
         return multiprocessing.get_context()
 
 
-def _worker_main(worker_id, conn, fingerprint, memo_capacity, kernel=None):
+class _StoreMemo:
+    """The memo façade pool workers hand to ``decide_pure``: local LRU
+    first, then the shared :class:`~repro.engine.store.CompileStore`.
+
+    A store hit lands in the local memo (so the chunk's remaining tasks —
+    and the warm-back freshness scan — see it like any compiled entry) and
+    is counted; the store is read-only from here: *publishing* is the
+    parent's job, exactly once per expression fleet-wide.  Store failures
+    of any kind degrade to a plain miss — a worker must never die over a
+    cache.
+    """
+
+    __slots__ = ("memo", "store", "store_hits")
+
+    def __init__(self, memo, store):
+        self.memo = memo
+        self.store = store
+        self.store_hits = 0
+
+    def get(self, key, default=None):
+        value = self.memo.get(key)
+        if value is not None:
+            return value
+        if self.store is not None:
+            try:
+                value = self.store.get(key)
+            except Exception:
+                value = None
+            if value is not None:
+                self.memo[key] = value
+                self.store_hits += 1
+                return value
+        return default
+
+    def __setitem__(self, key, value):
+        self.memo[key] = value
+
+    def __contains__(self, key):
+        return key in self.memo
+
+
+def _worker_main(
+    worker_id, conn, fingerprint, memo_capacity, kernel=None, store_spec=None
+):
     """Worker loop: receive chunks on a private pipe, decide, ship back.
 
     Module-level so it survives ``spawn`` pickling.  The compile memo
@@ -158,6 +201,15 @@ def _worker_main(worker_id, conn, fingerprint, memo_capacity, kernel=None):
             pass
     local_fingerprint = pipeline_fingerprint()
     memo = LRUCache("pool-worker.memo", maxsize=memo_capacity, register=False)
+    store = None
+    if store_spec is not None:
+        try:
+            from repro.engine.store import CompileStore
+
+            store = CompileStore.from_spec(store_spec)
+        except Exception:
+            store = None  # a worker without a store is merely colder
+    store_memo = _StoreMemo(memo, store)
     shipped = LRUCache(
         "pool-worker.shipped",
         maxsize=max(4 * memo_capacity, 1024),
@@ -173,6 +225,7 @@ def _worker_main(worker_id, conn, fingerprint, memo_capacity, kernel=None):
             started = time.perf_counter()
             warmback: List[Tuple[Expr, WFA]] = []
             verdicts: List[Tuple[int, object]] = []
+            hits_before = store_memo.store_hits
             if kind == "star":
                 for task_id, matrix in tasks:
                     verdicts.append((task_id, matrix.star()))
@@ -182,7 +235,11 @@ def _worker_main(worker_id, conn, fingerprint, memo_capacity, kernel=None):
                     for expr in (left, right):
                         if expr not in memo:
                             fresh.append(expr)
-                    verdicts.append((task_id, decide_pure(left, right, memo)))
+                    verdicts.append((task_id, decide_pure(left, right, store_memo)))
+                # Store-served expressions count as fresh here on purpose:
+                # warm-back is how the *parent's* WFA cache gets warm, and
+                # its publish-side dedupe makes re-offering them to the
+                # store itself a cheap skip.
                 for expr in fresh:
                     wfa = memo.peek(expr)  # may already be evicted mid-chunk
                     if wfa is not None and expr not in shipped:
@@ -197,6 +254,7 @@ def _worker_main(worker_id, conn, fingerprint, memo_capacity, kernel=None):
                     verdicts,
                     warmback,
                     time.perf_counter() - started,
+                    store_memo.store_hits - hits_before,
                 )
             )
     except (EOFError, BrokenPipeError, OSError):  # parent went away
@@ -225,6 +283,7 @@ class PoolBatchOutcome:
         "worker_seconds",
         "max_chunk_seconds",
         "restarts",
+        "store_hits",
         "fallback_task_ids",
     )
 
@@ -233,6 +292,8 @@ class PoolBatchOutcome:
         self.worker_seconds = 0.0
         self.max_chunk_seconds = 0.0
         self.restarts = 0
+        # Compilations the workers *avoided* by reading the shared store.
+        self.store_hits = 0
         # Task ids the parent decided in-process (their verdicts are
         # already in the owning engine's caches — the merge must not
         # store, and so count, them twice).
@@ -258,6 +319,7 @@ class WorkerPool:
         start_method: Optional[str] = None,
         memo_capacity: int = 4096,
         kernel: Optional[str] = None,
+        store_spec: Optional[Dict[str, object]] = None,
     ):
         self.size = max(1, int(size))
         self.fingerprint = fingerprint
@@ -266,6 +328,10 @@ class WorkerPool:
         # REPRO_KERNEL default).  The owning engine recycles the pool when
         # its configured kernel changes, exactly like a fingerprint change.
         self.kernel = kernel
+        # Shipped (not the handle — a spec pickles under spawn) so every
+        # worker reopens the engine's CompileStore read-only and starts
+        # warm from the fleet's published compilations.
+        self.store_spec = dict(store_spec) if store_spec else None
         self._ctx = pool_context(start_method)
         self.start_method = self._ctx.get_start_method()
         self._state_lock = threading.Lock()
@@ -296,6 +362,7 @@ class WorkerPool:
                 self.fingerprint,
                 self.memo_capacity,
                 self.kernel,
+                self.store_spec,
             ),
             name=f"nka-pool-{worker_id}",
             daemon=True,
@@ -408,7 +475,16 @@ class WorkerPool:
             """Merge one pipe message (drops stale epochs and duplicates)."""
             if message[0] != "done":
                 return
-            _, _worker_id, msg_epoch, chunk_id, chunk_verdicts, warmback, seconds = message
+            (
+                _,
+                _worker_id,
+                msg_epoch,
+                chunk_id,
+                chunk_verdicts,
+                warmback,
+                seconds,
+                store_hits,
+            ) = message
             if msg_epoch != epoch or chunk_id not in pending:
                 return
             del pending[chunk_id]
@@ -417,6 +493,7 @@ class WorkerPool:
             outcome.warmback.extend(warmback)
             outcome.worker_seconds += seconds
             outcome.max_chunk_seconds = max(outcome.max_chunk_seconds, seconds)
+            outcome.store_hits += store_hits
 
         def retire(handle: _WorkerHandle, salvage: bool) -> None:
             """Remove a worker; optionally keep what it already sent."""
@@ -554,6 +631,7 @@ class WorkerPool:
             "fingerprint_rejects": self.fingerprint_rejects,
             "memo_capacity": self.memo_capacity,
             "kernel": self.kernel,
+            "store": self.store_spec["root"] if self.store_spec else None,
             "closed": self.closed,
             "fingerprint": self.fingerprint[:12],
         }

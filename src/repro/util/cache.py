@@ -194,6 +194,12 @@ class LRUCache:
                 break
             self.evictions += 1
 
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return an entry (no hit/miss counters — removal is
+        bookkeeping, not a lookup).  Used by the compile store to drop a
+        locally cached WFA whose on-disk entry was just evicted."""
+        return self._data.pop(key, default)
+
     def __setitem__(self, key: Hashable, value: Any) -> None:
         """Dict-style insert, so an :class:`LRUCache` satisfies the mapping
         protocol of memo consumers like ``decide_pure`` (pool workers use a

@@ -13,7 +13,10 @@ persistent worker pool, this suite pins the conformance surface: a seeded
     no state whatsoever carries between queries), and
 (d) the **vectorized-kernel** engine (``kernel="numpy"``, when numpy is
     importable) — the fast paths of :mod:`repro.linalg.kernels` routed
-    through the same planner and sequential executor,
+    through the same planner and sequential executor, and
+(e) a **store-served** engine (``store=``) answering entirely out of a
+    :class:`~repro.engine.store.CompileStore` another engine populated —
+    zero parent compilations, every automaton deserialized from disk,
 
 and all of them must produce *identical* verdicts — including the
 counterexample word and the deciding reason, compared byte-for-byte on the
@@ -121,6 +124,24 @@ def numpy_kernel_verdicts(corpus):
     return verdicts
 
 
+@pytest.fixture(scope="module")
+def store_served_verdicts(corpus, tmp_path_factory):
+    """(e) The shared compile store: a publisher engine fills a store, a
+    *fresh* engine answers the whole corpus from it with zero parent
+    compilations — the fleet-warm path of :mod:`repro.engine.store`."""
+    root = str(tmp_path_factory.mktemp("diff-store"))
+    with NKAEngine("diff-store-pub", store=root) as publisher:
+        publisher.equal_many_detailed(corpus, workers=1)
+        assert publisher.stats()["store"]["publishes"] > 0
+    with NKAEngine("diff-store-sub", store=root) as served:
+        verdicts = served.equal_many_detailed(corpus, workers=1)
+        assert served.compilations == 0, (
+            f"{served.compilations} compilations despite a populated store"
+        )
+        assert served.stats()["store"]["parent_hits"] > 0
+    return verdicts
+
+
 def test_corpus_is_the_mandated_200_pairs(corpus):
     assert len(corpus) == CORPUS_SIZE
 
@@ -153,6 +174,20 @@ def test_numpy_kernel_equals_sequential_bytewise(
     ):
         assert pickle.dumps(fast) == pickle.dumps(sequential), (
             f"pair #{index}: numpy-kernel {fast} != sequential {sequential}"
+        )
+
+
+def test_store_served_equals_sequential_bytewise(
+    store_served_verdicts, sequential_verdicts
+):
+    """Store-served verdicts must be pickled-bytes-identical to fresh
+    compiles: the store may change *where* an automaton comes from, never
+    what it decides."""
+    for index, (served, sequential) in enumerate(
+        zip(store_served_verdicts, sequential_verdicts)
+    ):
+        assert pickle.dumps(served) == pickle.dumps(sequential), (
+            f"pair #{index}: store-served {served} != sequential {sequential}"
         )
 
 
