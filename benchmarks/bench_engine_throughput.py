@@ -26,7 +26,13 @@ batch API:
   (``store_cold``) compiles + publishes everything, the second
   (``store_served``) must answer the same batch with *zero* compilations
   in at most 10% of the cold compile time (``--check``); store
-  hit/publish counters land in the JSON.
+  hit/publish counters land in the JSON;
+* **verdict tier** (PR 9) — a ``chain`` workload of k pairwise-equal
+  re-associations: deciding the k−1 adjacent pairs seeds the union–find
+  verdict ledger, and the full C(k,2) closure must then be answered by
+  transitive inference alone (``--check``: ≤ k−1 Tzeng decisions, ≥10×
+  closure speedup vs inference-off, and a store-served replica with zero
+  compilations *and* zero decisions).
 
 The baseline below is a faithful reimplementation of the PR 3 sequential
 ``nka_equal_many``: union-alphabet compilation + the dense-iteration Tzeng
@@ -72,7 +78,7 @@ from functools import reduce
 from repro.automata.equivalence import EquivalenceResult, wfa_equivalent
 from repro.automata.wfa import expr_to_wfa
 from repro.core.decision import clear_caches
-from repro.core.expr import Product, Star, Sum, alphabet, product_factors
+from repro.core.expr import Product, Star, Sum, alphabet, product_factors, sym
 from repro.engine import NKAEngine
 from repro.linalg import RowSpace, dot, reachable
 
@@ -493,6 +499,105 @@ def run_suite(total_pairs, workers_sweep, json_path=None, check=False, rounds=3)
     )
     shutil.rmtree(store_root, ignore_errors=True)
 
+    # -- verdict tier: transitive inference over a chained family (PR 9) ----
+    # k distinct re-associations of one k-symbol product are pairwise equal;
+    # deciding the k−1 *adjacent* pairs seeds the engine's verdict ledger,
+    # after which the whole C(k,2) closure is inferred by union–find lookup
+    # — zero further compiles, zero further Tzeng runs.  The inference-off
+    # contender pays a Tzeng run per closure pair from the same warm compile
+    # cache, so the timed gap is the verdict tier's alone.  Finally a fresh
+    # replica against the shared store answers *everything* — adjacent pairs
+    # off the fleet verdict store, closure off its own (store-seeded)
+    # ledger — without a single compile or decision.
+    chain_k, chain_factors = 12, 12
+    chain_rng = random.Random(9090)
+    chain_syms = [sym(f"ch{i}") for i in range(chain_factors)]
+
+    def _chain_assoc(lo, hi):
+        if hi - lo == 1:
+            return chain_syms[lo]
+        split = chain_rng.randint(lo + 1, hi - 1)
+        return Product(_chain_assoc(lo, split), _chain_assoc(split, hi))
+
+    chain_family, chain_seen = [], set()
+    while len(chain_family) < chain_k:
+        expr = _chain_assoc(0, chain_factors)
+        if expr not in chain_seen:
+            chain_seen.add(expr)
+            chain_family.append(expr)
+    adjacent = list(zip(chain_family, chain_family[1:]))
+    closure = [
+        (chain_family[i], chain_family[j])
+        for i in range(chain_k)
+        for j in range(i + 2, chain_k)
+    ]
+
+    chain_root = tempfile.mkdtemp(suffix=".nka-verdicts")
+    chain_best = {
+        "on": {"seconds": float("inf"), "stats": None, "verdicts": None},
+        "off": {"seconds": float("inf"), "verdicts": None},
+    }
+    for _ in range(rounds):
+        shutil.rmtree(chain_root, ignore_errors=True)
+        _cold()
+        with NKAEngine(
+            "bench-chain-on", store=chain_root, infer_verdicts=True
+        ) as candidate:
+            candidate.equal_many(adjacent)
+            started = time.perf_counter()
+            candidate_verdicts = candidate.equal_many(closure)
+            seconds = time.perf_counter() - started
+            stats = candidate.stats()
+        if seconds < chain_best["on"]["seconds"]:
+            chain_best["on"].update(
+                seconds=seconds, stats=stats, verdicts=candidate_verdicts
+            )
+        _cold()
+        with NKAEngine("bench-chain-off", infer_verdicts=False) as candidate:
+            candidate.equal_many(adjacent)
+            started = time.perf_counter()
+            candidate_verdicts = candidate.equal_many(closure)
+            seconds = time.perf_counter() - started
+        if seconds < chain_best["off"]["seconds"]:
+            chain_best["off"].update(seconds=seconds, verdicts=candidate_verdicts)
+    assert chain_best["on"]["verdicts"] == chain_best["off"]["verdicts"], (
+        "chain closure verdict divergence between inference configs"
+    )
+    # The replica runs against the store the *last* round populated.
+    _cold()
+    with NKAEngine(
+        "bench-chain-replica", store=chain_root, infer_verdicts=True
+    ) as replica:
+        replica_adjacent = replica.equal_many(adjacent)
+        replica_closure = replica.equal_many(closure)
+        replica_stats = replica.stats()
+    assert replica_closure == chain_best["on"]["verdicts"], (
+        "chain replica closure verdict divergence"
+    )
+    assert replica_adjacent == [True] * len(adjacent)
+    shutil.rmtree(chain_root, ignore_errors=True)
+    chain_on_stats = chain_best["on"]["stats"]
+    results["configs"]["chain_infer_on"] = {
+        "family": chain_k,
+        "adjacent_pairs": len(adjacent),
+        "closure_pairs": len(closure),
+        "closure_seconds": round(chain_best["on"]["seconds"], 4),
+        "closure_speedup_vs_off": round(
+            chain_best["off"]["seconds"] / chain_best["on"]["seconds"], 2
+        ),
+        "decisions": chain_on_stats["decisions"],
+        "inferred_equal": chain_on_stats["verdicts"]["inferred_equal"],
+    }
+    results["configs"]["chain_infer_off"] = {
+        "closure_seconds": round(chain_best["off"]["seconds"], 4),
+    }
+    results["configs"]["chain_store_served"] = {
+        "compilations": replica_stats["compilations"],
+        "decisions": replica_stats["decisions"],
+        "verdict_store_hits": replica_stats["verdicts"]["store_hits"],
+        "inferred_equal": replica_stats["verdicts"]["inferred_equal"],
+    }
+
     for label, verdicts in verdicts_by_config.items():
         assert verdicts == baseline, f"verdict divergence in config {label}"
     results["verdicts_identical"] = True
@@ -552,6 +657,26 @@ def run_suite(total_pairs, workers_sweep, json_path=None, check=False, rounds=3)
             "store-served compile phase exceeded 10% of cold compile: "
             f"{served['compile_seconds']:.3f}s vs {cold['compile_seconds']:.3f}s"
         )
+        # The verdict tier's headline gates (PR 9): k−1 adjacent decisions
+        # buy the whole C(k,2) closure — no further Tzeng runs, a ≥10×
+        # closure-phase speedup over the inference-off engine, and a
+        # store-served replica that never compiles or decides at all.
+        chain_on = results["configs"]["chain_infer_on"]
+        assert chain_on["decisions"] <= chain_on["family"] - 1, (
+            f"chain inference ran {chain_on['decisions']} Tzeng decisions, "
+            f"budget was {chain_on['family'] - 1}"
+        )
+        assert chain_on["closure_speedup_vs_off"] >= 10.0, (
+            "closure inference speedup fell below the 10x gate: "
+            f"{chain_on['closure_speedup_vs_off']}x"
+        )
+        chain_replica = results["configs"]["chain_store_served"]
+        assert chain_replica["compilations"] == 0, (
+            f"chain replica compiled {chain_replica['compilations']} automata"
+        )
+        assert chain_replica["decisions"] == 0, (
+            f"chain replica ran {chain_replica['decisions']} Tzeng decisions"
+        )
     return results
 
 
@@ -610,6 +735,23 @@ def test_engine_store_served_zero_compilations(small_suite):
         "a fleet-populated store serves a fresh engine without compiling",
         f"served compile {served['compile_seconds']}s vs cold "
         f"{cold['compile_seconds']}s ({served['compile_speedup_vs_cold']}×)",
+    )
+
+
+def test_engine_chain_inference_closes_the_transitive_closure(small_suite):
+    chain = small_suite["configs"]["chain_infer_on"]
+    assert chain["decisions"] <= chain["family"] - 1
+    assert chain["inferred_equal"] == chain["closure_pairs"]
+    replica = small_suite["configs"]["chain_store_served"]
+    assert replica["compilations"] == 0
+    assert replica["decisions"] == 0
+    assert replica["verdict_store_hits"] > 0
+    report(
+        "ENGINE/verdict-tier",
+        "k−1 adjacent decisions buy the whole C(k,2) closure",
+        f"{chain['decisions']} decisions answered {chain['closure_pairs']} "
+        f"closure pairs ({chain['closure_speedup_vs_off']}× vs inference-off); "
+        "store-served replica: 0 compiles, 0 decisions",
     )
 
 

@@ -24,7 +24,14 @@ example walks the levers :class:`repro.engine.NKAEngine` adds:
    state (an explicit snapshot of one session), the store is fleet-wide
    and always-on — every compile anywhere lands in it at most once, and
    inspection/garbage collection ship as an ops CLI:
-   ``python -m repro.engine.store describe|gc <dir>``.
+   ``python -m repro.engine.store describe|gc <dir>``;
+6. **the verdict tier** — the store also holds whole *verdicts* (keyed by
+   the unordered digest pair), so a replica skips not just the compile but
+   the Tzeng run too; and with ``NKAEngine(infer_verdicts=True)`` (or
+   ``REPRO_VERDICT_INFER=1``) a union–find ledger over proven-equal
+   expressions answers *transitive* queries — decide the k−1 adjacent
+   pairs of a chain and the whole C(k,2) closure is inferred with zero
+   compiles and zero decisions.
 """
 
 import os
@@ -174,21 +181,75 @@ def main() -> None:
         started = time.perf_counter()
         replica_verdicts = replica_b.equal_many(batch)
         elapsed = time.perf_counter() - started
-        b_store = replica_b.stats()["store"]
+        b_verdicts = replica_b.stats()["verdicts"]
         print(f"  replica B: {elapsed * 1000:.1f} ms, "
-              f"{replica_b.stats()['compilations']} compilations "
-              f"({b_store['parent_hits']} served from the store)")
+              f"{replica_b.stats()['compilations']} compilations, "
+              f"{replica_b.stats()['decisions']} Tzeng runs "
+              f"({b_verdicts['store_hits']} whole verdicts off the store)")
         assert replica_verdicts == store_verdicts
         assert replica_b.stats()["compilations"] == 0
+        assert replica_b.stats()["decisions"] == 0
 
     # Fleet ops: `python -m repro.engine.store describe <dir>` prints the
-    # same report; `... gc <dir> --max-bytes N` evicts oldest-first and
-    # sweeps stale fingerprints after a pipeline change.
+    # same report — WFA and verdict entries split out; `... gc <dir>
+    # --max-bytes N` evicts oldest-first (both kinds share the byte
+    # budget) and sweeps stale fingerprints after a pipeline change.
     from repro.engine import describe_store, gc_store
 
-    print(f"  describe: {describe_store(store_root)}")
+    description = describe_store(store_root)
+    print(f"  describe: {description['wfa_entries']} WFAs "
+          f"({description['wfa_bytes']} B) + "
+          f"{description['verdict_entries']} verdicts "
+          f"({description['verdict_bytes']} B)")
     print(f"  gc (empty the store): "
           f"{gc_store(store_root, max_bytes=0)}")
+
+    section("6. The verdict tier: a chained batch with zero Tzeng runs")
+    # k distinct re-associations of one product are pairwise equal.  An
+    # inferring engine decides only the k−1 *adjacent* pairs; the whole
+    # C(k,2) closure then falls out of the union–find ledger — and a
+    # store-attached replica gets even the adjacent verdicts for free.
+    rng = random.Random(5)
+    factors = [Symbol(f"f{i}") for i in range(8)]
+
+    def associate(lo, hi):
+        if hi - lo == 1:
+            return factors[lo]
+        split = rng.randint(lo + 1, hi - 1)
+        return Product(associate(lo, split), associate(split, hi))
+
+    family, seen = [], set()
+    while len(family) < 8:
+        expr = associate(0, len(factors))
+        if expr not in seen:
+            seen.add(expr)
+            family.append(expr)
+    adjacent = list(zip(family, family[1:]))
+    closure = [(family[i], family[j])
+               for i in range(len(family)) for j in range(i + 2, len(family))]
+
+    with NKAEngine("chain-a", store=store_root, infer_verdicts=True) as chain_a:
+        chain_a.equal_many(adjacent)
+        closure_verdicts = chain_a.equal_many(closure)
+        v = chain_a.stats()["verdicts"]
+        print(f"  engine A: {len(adjacent)} adjacent pairs decided "
+              f"({v['direct']} Tzeng runs), then {len(closure)} closure "
+              f"pairs inferred ({v['inferred_equal']} transitive hits, "
+              f"largest class {v['largest_class']})")
+        assert closure_verdicts == [True] * len(closure)
+        assert v["direct"] == len(adjacent)
+
+    with NKAEngine("chain-b", store=store_root, infer_verdicts=True) as chain_b:
+        chain_b.equal_many(adjacent)      # served whole off the verdict store
+        chain_b.equal_many(closure)       # inferred from the seeded ledger
+        v = chain_b.stats()["verdicts"]
+        print(f"  replica B: {chain_b.stats()['compilations']} compilations, "
+              f"{chain_b.stats()['decisions']} Tzeng runs — "
+              f"{v['store_hits']} verdicts off the store, "
+              f"{v['inferred_equal']} inferred; full stats: {v}")
+        assert chain_b.stats()["compilations"] == 0
+        assert chain_b.stats()["decisions"] == 0
+    gc_store(store_root, max_bytes=0)
 
 
 if __name__ == "__main__":

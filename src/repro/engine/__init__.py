@@ -21,6 +21,12 @@ Public surface:
   ``REPRO_COMPILE_STORE``), with :func:`describe_store` / :func:`gc_store`
   and a ``python -m repro.engine.store`` ops CLI
   (:mod:`repro.engine.store`);
+* the verdict tier — :class:`~repro.engine.verdicts.VerdictLedger`, a
+  union–find over proven-equal expressions with a per-class refutation
+  index; with ``NKAEngine(infer_verdicts=True)`` (or
+  ``REPRO_VERDICT_INFER=1``) chains of known verdicts answer new pairs
+  with zero compiles and zero Tzeng runs, and the store also shares
+  whole *verdicts* fleet-wide (:mod:`repro.engine.verdicts`);
 * planner/executor introspection types for tooling —
   :class:`~repro.engine.planner.BatchPlan`,
   :class:`~repro.engine.executor.ExecutionReport`.
@@ -61,6 +67,13 @@ from repro.engine.planner import (
     plan_batch,
 )
 from repro.engine.pool import WorkerPool, pool_context
+from repro.engine.verdicts import (
+    INFERRED_EQUAL_REASON,
+    VerdictContradictionError,
+    VerdictLedger,
+    inferred_refuted_reason,
+    is_inferred_reason,
+)
 
 # The store's names resolve lazily (PEP 562): `python -m repro.engine.store`
 # imports this package first, and an eager submodule import here would leave
@@ -71,6 +84,7 @@ _STORE_EXPORTS = (
     "describe_store",
     "gc_store",
     "open_default_store",
+    "verdict_pair_key",
 )
 
 
@@ -99,6 +113,12 @@ __all__ = [
     "describe_store",
     "gc_store",
     "open_default_store",
+    "verdict_pair_key",
+    "VerdictLedger",
+    "VerdictContradictionError",
+    "INFERRED_EQUAL_REASON",
+    "inferred_refuted_reason",
+    "is_inferred_reason",
     "WarmState",
     "WarmStateError",
     "StaleWarmStateError",

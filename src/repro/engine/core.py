@@ -60,10 +60,16 @@ from repro.engine.pool import WorkerPool
 from repro.engine.persist import (
     StaleWarmStateError,
     WarmState,
+    expr_digest,
     load_warm_state,
     make_warm_state,
     pipeline_fingerprint,
     save_warm_state,
+)
+from repro.engine.verdicts import (
+    INFERRED_EQUAL_REASON,
+    VerdictLedger,
+    inferred_refuted_reason,
 )
 from repro.linalg import kernels
 from repro.util.cache import CacheRegistry, LRUCache, process_registry
@@ -117,6 +123,19 @@ class NKAEngine:
             environment variable is set.  Store failures of any kind are
             counted, never raised: an engine without its store is merely
             colder.
+        infer_verdicts: enable the verdict ledger's *transitive inference*
+            tier: equivalence is a congruence, so ``a≡b ∧ b≡c`` answers
+            ``a≡c`` with zero compiles and zero Tzeng runs, and
+            ``a≡b ∧ b≢c (witness w)`` answers ``a≢c`` by transferring
+            ``w`` (the series of ``a`` and ``b`` are identical as
+            functions, so the two pairs share their counterexample *set*
+            — the shortlex-minimal witness the decision procedure returns
+            transfers byte-identically).  ``None`` (default) follows
+            ``REPRO_VERDICT_INFER``; the ledger *records* verdicts either
+            way, so inference can be toggled mid-session via
+            :meth:`configure`.  Inferred results carry a canonical
+            ``inferred:`` reason tag and are otherwise byte-identical to
+            direct decisions; they are never published to the store.
         cache_namespace: prefix for the cache names; the default engine
             passes ``"decision"`` to keep the historical global names.
         register_globally: also register this engine's caches in the
@@ -141,6 +160,7 @@ class NKAEngine:
         warm_state: Union[None, str, WarmState] = None,
         strict_warm_state: bool = True,
         store: Union[None, bool, str, CompileStore] = None,
+        infer_verdicts: Optional[bool] = None,
         cache_namespace: Optional[str] = None,
         register_globally: bool = False,
     ):
@@ -185,6 +205,14 @@ class NKAEngine:
             self._store = CompileStore(store)
         else:
             self._store = store
+        if infer_verdicts is None:
+            env = os.environ.get("REPRO_VERDICT_INFER", "")
+            infer_verdicts = env.strip().lower() in ("1", "true", "yes", "on")
+        self._infer_verdicts = bool(infer_verdicts)
+        # The ledger always *records* (recording is O(α) and enables
+        # toggling inference on mid-session); it is only *consulted* when
+        # inference is enabled.
+        self._ledger = VerdictLedger(capacity=max(1024, 8 * result_capacity))
         self._pool: Optional[WorkerPool] = None
         self._lock = threading.RLock()
         # Serialises batch execution: the pool's shared queues carry one
@@ -196,11 +224,14 @@ class NKAEngine:
         self._batches = 0
         self._warm_wfas = 0
         self._warm_verdicts = 0
+        self._warm_classes = 0
+        self._warm_refutations = 0
         self._plan_totals = PlanStats()
         self._plan_seconds = 0.0
         self._execute_seconds = 0.0
         self._last_batch: Optional[Dict[str, object]] = None
         self._reset_lifetime_executor_stats()
+        self._reset_verdict_stats()
         if warm_state is not None:
             self.load_warm_state(warm_state, strict=strict_warm_state)
 
@@ -220,6 +251,15 @@ class NKAEngine:
         self._warmback_returned = 0
         self._warmback_merged = 0
         self._warmback_skipped = 0
+
+    def _reset_verdict_stats(self) -> None:
+        self._verdicts_direct = 0
+        self._verdict_cache_hits = 0
+        self._verdicts_inferred_equal = 0
+        self._verdicts_inferred_refuted = 0
+        self._verdict_store_hits = 0
+        self._verdict_store_publishes = 0
+        self._verdict_worker_store_hits = 0
 
     # -- single-query API --------------------------------------------------
 
@@ -334,7 +374,12 @@ class NKAEngine:
         return wfa
 
     def equal_detailed(self, left: Expr, right: Expr) -> EquivalenceResult:
-        """Decide ``⊢NKA left = right`` and report how it was decided."""
+        """Decide ``⊢NKA left = right`` and report how it was decided.
+
+        Lookup order is the verdict tier's canonical one: pointer-equal →
+        verdict cache → union–find inference (when enabled) → shared
+        verdict store → direct decision.
+        """
         if left is right:
             # Hash-consing makes syntactic equality pointer identity, and
             # equal syntax trivially has equal series — no automaton needed.
@@ -342,31 +387,156 @@ class NKAEngine:
         with self._lock:
             cached = self._results.get((left, right))
             if cached is not None:
+                self._verdict_cache_hits += 1
                 return cached
+        inferred = self._infer_from_ledger(left, right)
+        if inferred is not None:
+            return inferred
+        served = self._verdict_store_lookup(left, right)
+        if served is not None:
+            self._record_verdict(left, right, served, direct=False)
+            return served
         with kernels.use_backend(self._kernel):
             result = wfa_equivalent(self.compile(left), self.compile(right))
-        self._store_verdict(left, right, result)
+        self._record_verdict(left, right, result)
         return result
 
     def equal(self, left: Expr, right: Expr) -> bool:
         """Decide ``⊢NKA left = right`` (True iff derivable from the axioms)."""
         return self.equal_detailed(left, right).equal
 
-    def _store_verdict(
-        self, left: Expr, right: Expr, result: EquivalenceResult
+    def _record_verdict(
+        self,
+        left: Expr,
+        right: Expr,
+        result: EquivalenceResult,
+        *,
+        direct: bool = True,
+        publish: bool = True,
     ) -> None:
         """Record a verdict symmetrically (one decision answers both
-        orientations — a distinguishing word distinguishes either way)."""
+        orientations — a distinguishing word distinguishes either way) and
+        file it in the transitive ledger.  ``direct`` marks an actual Tzeng
+        decision (counted and, when ``publish``, offered to the fleet's
+        verdict store); store-served results pass ``direct=False``."""
         with self._lock:
-            self._decisions += 1
+            if direct:
+                self._decisions += 1
+                self._verdicts_direct += 1
             self._results.put((left, right), result)
             self._results.put((right, left), result)
+            self._ledger.record(left, right, result)
+        if direct and publish:
+            self._publish_verdict(left, right, result)
+
+    def _publish_verdict(
+        self, left: Expr, right: Expr, result: EquivalenceResult
+    ) -> None:
+        """Offer a directly-decided verdict to the fleet (never raises)."""
+        store = self._store
+        if store is None:
+            return
+        try:
+            published = store.publish_verdict(
+                expr_digest(left), expr_digest(right), result
+            )
+        except Exception:
+            with self._lock:
+                self._store_errors += 1
+            return
+        if published:
+            with self._lock:
+                self._verdict_store_publishes += 1
+
+    def _verdict_store_lookup(
+        self, left: Expr, right: Expr
+    ) -> Optional[EquivalenceResult]:
+        """Probe the fleet's verdict store (only direct decisions live
+        there, so serving from it preserves byte-identity)."""
+        store = self._store
+        if store is None:
+            return None
+        try:
+            result = store.get_verdict(expr_digest(left), expr_digest(right))
+        except Exception:
+            with self._lock:
+                self._store_errors += 1
+            return None
+        if result is not None:
+            with self._lock:
+                self._verdict_store_hits += 1
+        return result
+
+    def _infer_from_ledger(
+        self, left: Expr, right: Expr
+    ) -> Optional[EquivalenceResult]:
+        """Answer from the transitive closure of recorded verdicts.
+
+        An inferred refutation's witness transfers byte-identically (the
+        pairs share their counterexample set, and the decision procedure
+        returns the shortlex-minimal element), but we still re-evaluate
+        both series on the word — O(|w|) sparse matvecs — as a soundness
+        guard: if the weights agree after all (impossible unless state
+        was corrupted), we fall through to a direct decision.
+        """
+        if not self._infer_verdicts:
+            return None
+        with self._lock:
+            inferred = self._ledger.infer(left, right)
+        if inferred is None:
+            return None
+        kind, witness = inferred
+        if kind == "equal":
+            result = EquivalenceResult(
+                equal=True,
+                counterexample=None,
+                reason=INFERRED_EQUAL_REASON,
+            )
+            with self._lock:
+                self._verdicts_inferred_equal += 1
+                self._results.put((left, right), result)
+                self._results.put((right, left), result)
+            return result
+        with kernels.use_backend(self._kernel):
+            left_weight = self.compile(left).weight(witness)
+            right_weight = self.compile(right).weight(witness)
+        if left_weight == right_weight:
+            return None  # corrupted ledger state: decide directly instead
+        result = EquivalenceResult(
+            equal=False,
+            counterexample=witness,
+            reason=inferred_refuted_reason(witness),
+        )
+        with self._lock:
+            self._verdicts_inferred_refuted += 1
+            self._results.put((left, right), result)
+            self._results.put((right, left), result)
+        return result
 
     def _cached_verdict(
         self, left: Expr, right: Expr
     ) -> Optional[EquivalenceResult]:
         with self._lock:
             return self._results.get((left, right))
+
+    def _plan_lookup(
+        self, left: Expr, right: Expr
+    ) -> Optional[EquivalenceResult]:
+        """Planner short-circuit: verdict cache → ledger inference →
+        verdict store.  Anything answered here is removed from the batch
+        before a single automaton is considered."""
+        with self._lock:
+            cached = self._results.get((left, right))
+            if cached is not None:
+                return cached
+        inferred = self._infer_from_ledger(left, right)
+        if inferred is not None:
+            return inferred
+        served = self._verdict_store_lookup(left, right)
+        if served is not None:
+            self._record_verdict(left, right, served, direct=False)
+            return served
+        return None
 
     def _is_compiled(self, expr: Expr) -> bool:
         """Planner probe: is this expression's automaton already available
@@ -384,6 +554,39 @@ class NKAEngine:
             with self._lock:
                 self._store_errors += 1
             return False
+
+    def _batch_compiled_probe(self, pairs) -> FrozenSet[Expr]:
+        """Every batch expression whose automaton is already available.
+
+        One pass, batched: the session cache answers under the lock, the
+        rest go through :meth:`CompileStore.contains_digests`, which
+        resolves repeats and recent answers from its in-memory TTL caches
+        — O(1) syscalls per *novel* digest instead of one disk stat per
+        expression per plan."""
+        distinct: List[Expr] = []
+        seen = set()
+        for left, right in pairs:
+            for expr in (left, right):
+                if expr not in seen:
+                    seen.add(expr)
+                    distinct.append(expr)
+        with self._lock:
+            available = {expr for expr in distinct if expr in self._wfa}
+        store = self._store
+        if store is not None and len(available) < len(distinct):
+            remaining = {
+                expr_digest(expr): expr
+                for expr in distinct
+                if expr not in available
+            }
+            try:
+                present = store.contains_digests(remaining.keys())
+            except Exception:
+                with self._lock:
+                    self._store_errors += 1
+            else:
+                available.update(remaining[digest] for digest in present)
+        return frozenset(available)
 
     def _auto_parallel_candidates(
         self, plan, workers: int
@@ -456,10 +659,11 @@ class NKAEngine:
         with kernels.use_backend(self._kernel):
             cost_estimate = None
             if self._store is not None:
+                available = self._batch_compiled_probe(pairs)
                 cost_estimate = cached_aware_cost_estimate(
-                    _default_cost_estimate, self._is_compiled
+                    _default_cost_estimate, available.__contains__
                 )
-            plan = plan_batch(pairs, self._cached_verdict, cost_estimate=cost_estimate)
+            plan = plan_batch(pairs, self._plan_lookup, cost_estimate=cost_estimate)
         plan_seconds = time.perf_counter() - plan_started
         with self._exec_lock:
             for expr in self._auto_parallel_candidates(plan, effective_workers):
@@ -479,15 +683,22 @@ class NKAEngine:
         # Merge in task-id order: deterministic cache state regardless of
         # scheduling (pool workers return verdicts in arbitrary order).
         # Tasks the pool's in-process fallback decided already went through
-        # _store_verdict — storing them again would double-count
-        # `decisions`.
+        # _record_verdict — storing them again would double-count
+        # `decisions`.  Tasks a worker answered from the verdict store are
+        # recorded as served, not decided, and are never re-published.
+        publishable: List[Tuple[Expr, Expr, EquivalenceResult]] = []
         for task in plan.tasks:
             result = verdicts[task.task_id]
             if (
                 report.mode != "sequential"
                 and task.task_id not in report.fallback_task_ids
             ):
-                self._store_verdict(task.left, task.right, result)
+                direct = task.task_id not in report.verdict_store_task_ids
+                self._record_verdict(
+                    task.left, task.right, result, direct=direct, publish=False
+                )
+                if direct:
+                    publishable.append((task.left, task.right, result))
             for position in task.positions:
                 plan.results[position] = result
         # Warm-back to the *fleet*: what the workers compiled this batch is
@@ -503,6 +714,20 @@ class NKAEngine:
             else:
                 with self._lock:
                     self._store_publishes += published
+        # Freshly decided verdicts join the fleet's verdict store the same
+        # way — at most once each, existing-entry skip deduping the rest.
+        if self._store is not None and publishable:
+            try:
+                published = self._store.publish_verdicts(
+                    (expr_digest(left), expr_digest(right), result)
+                    for left, right, result in publishable
+                )
+            except Exception:
+                with self._lock:
+                    self._store_errors += 1
+            else:
+                with self._lock:
+                    self._verdict_store_publishes += published
         with self._lock:
             # Warm-back merge: worker-compiled automata join this session's
             # cache (bounded by the LRU, deduped by interned node) so the
@@ -513,6 +738,7 @@ class NKAEngine:
             self._warmback_merged += merged
             self._warmback_skipped += skipped
             self._store_worker_hits += report.store_hits
+            self._verdict_worker_store_hits += report.verdict_store_hits
             self._batches += 1
             self._tasks_executed += report.tasks
             if report.mode == "sequential":
@@ -545,10 +771,20 @@ class NKAEngine:
         ]
 
     def _decide_into_caches(self, left: Expr, right: Expr) -> EquivalenceResult:
-        """Sequential task execution path: ride this engine's caches."""
+        """Sequential task execution path: ride this engine's caches.
+
+        The verdict store is probed here (pool workers probe it too, so
+        sequential and pooled batches see the same store tier); ledger
+        inference is **not** — workers cannot infer, and this path must
+        stay byte-identical to theirs for every worker count.
+        """
+        served = self._verdict_store_lookup(left, right)
+        if served is not None:
+            self._record_verdict(left, right, served, direct=False)
+            return served
         with kernels.use_backend(self._kernel):
             result = wfa_equivalent(self.compile(left), self.compile(right))
-        self._store_verdict(left, right, result)
+        self._record_verdict(left, right, result)
         return result
 
     def _accumulate_plan_stats(self, stats: PlanStats) -> None:
@@ -699,17 +935,22 @@ class NKAEngine:
         """
         with self._lock:
             self.registry.clear(reset_stats=reset_stats)
+            self._ledger.clear()
             if reset_stats:
                 self._compilations = 0
                 self._decisions = 0
                 self._batches = 0
                 self._warm_wfas = 0
                 self._warm_verdicts = 0
+                self._warm_classes = 0
+                self._warm_refutations = 0
                 self._plan_totals = PlanStats()
                 self._plan_seconds = 0.0
                 self._execute_seconds = 0.0
                 self._last_batch = None
                 self._reset_lifetime_executor_stats()
+                self._reset_verdict_stats()
+                self._ledger.resets = 0
 
     def configure(
         self,
@@ -717,6 +958,7 @@ class NKAEngine:
         result_capacity: Optional[int] = None,
         workers: Optional[int] = None,
         kernel=_UNSET,
+        infer_verdicts=_UNSET,
     ) -> None:
         """Resize caches (shrinking evicts LRU entries) / set default workers.
 
@@ -724,6 +966,9 @@ class NKAEngine:
         to the process-wide setting); the next parallel batch recycles the
         worker pool so workers re-pin the new backend.  Cached automata
         and verdicts stay valid — every backend produces identical bytes.
+        ``infer_verdicts`` toggles the ledger's transitive-inference tier
+        mid-session; verdicts recorded while it was off are already in the
+        ledger, so switching it on takes effect retroactively.
         """
         with self._lock:
             if wfa_capacity is not None:
@@ -736,6 +981,8 @@ class NKAEngine:
                 self._kernel = (
                     None if kernel is None else kernels.validate_backend(kernel)
                 )
+            if infer_verdicts is not _UNSET:
+                self._infer_verdicts = bool(infer_verdicts)
 
     @property
     def compilations(self) -> int:
@@ -792,9 +1039,22 @@ class NKAEngine:
                     "worker_hits": self._store_worker_hits,
                     "errors": self._store_errors,
                 },
+                "verdicts": {
+                    "infer_enabled": self._infer_verdicts,
+                    "direct": self._verdicts_direct,
+                    "cache_hits": self._verdict_cache_hits,
+                    "inferred_equal": self._verdicts_inferred_equal,
+                    "inferred_refuted": self._verdicts_inferred_refuted,
+                    "store_hits": self._verdict_store_hits,
+                    "worker_store_hits": self._verdict_worker_store_hits,
+                    "published": self._verdict_store_publishes,
+                    **self._ledger.stats(),
+                },
                 "warm_start": {
                     "wfas_loaded": self._warm_wfas,
                     "verdicts_loaded": self._warm_verdicts,
+                    "classes_loaded": self._warm_classes,
+                    "refutations_loaded": self._warm_refutations,
                 },
                 "warm_back": {
                     "returned": self._warmback_returned,
@@ -830,6 +1090,7 @@ class NKAEngine:
         with self._lock:
             wfas = self._wfa.items()
             verdict_items = self._results.items()
+            classes, refutations = self._ledger.snapshot()
         verdicts = []
         emitted = set()
         for (left, right), result in verdict_items:
@@ -840,10 +1101,14 @@ class NKAEngine:
         return make_warm_state(
             wfas=wfas,
             verdicts=verdicts,
+            verdict_classes=classes,
+            verdict_refutations=refutations,
             meta={
                 "engine": self.name,
                 "wfa_entries": len(wfas),
                 "verdict_entries": len(verdicts),
+                "equivalence_classes": len(classes),
+                "refutation_entries": len(refutations),
                 # Provenance: how much of the compile cache arrived over the
                 # pool's warm-back channel rather than parent compilation —
                 # a parallel warm-up persists its workers' compilations too.
@@ -886,6 +1151,8 @@ class NKAEngine:
                     f"{pipeline_fingerprint()[:12]}…; recompile cold and re-save"
                 )
             return False
+        classes = getattr(state, "verdict_classes", [])
+        refutations = getattr(state, "verdict_refutations", [])
         with self._lock:
             for expr, wfa in state.wfas:
                 self._wfa.put(expr, wfa)
@@ -894,7 +1161,10 @@ class NKAEngine:
                 self._results.put((left, right), result)
                 self._results.put((right, left), result)
                 self._warm_verdicts += 1
-        return bool(state.wfas or state.verdicts)
+            self._ledger.restore(classes, refutations)
+            self._warm_classes += len(classes)
+            self._warm_refutations += len(refutations)
+        return bool(state.wfas or state.verdicts or classes or refutations)
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         return (

@@ -64,6 +64,7 @@ class ExecutionReport:
         "fallback_task_ids",
         "warmback_returned",
         "store_hits",
+        "verdict_store_task_ids",
     )
 
     def __init__(
@@ -79,6 +80,7 @@ class ExecutionReport:
         fallback_task_ids: Optional[set] = None,
         warmback_returned: int = 0,
         store_hits: int = 0,
+        verdict_store_task_ids: Optional[set] = None,
     ):
         self.workers = workers
         self.mode = mode
@@ -92,10 +94,17 @@ class ExecutionReport:
         self.warmback_returned = warmback_returned
         # Compilations pool workers served from the shared compile store.
         self.store_hits = store_hits
+        # Tasks pool workers answered from the shared *verdict* store —
+        # no compile, no Tzeng run; the parent must not re-publish them.
+        self.verdict_store_task_ids = verdict_store_task_ids or set()
 
     @property
     def fallback_tasks(self) -> int:
         return len(self.fallback_task_ids)
+
+    @property
+    def verdict_store_hits(self) -> int:
+        return len(self.verdict_store_task_ids)
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -110,6 +119,7 @@ class ExecutionReport:
             "fallback_tasks": self.fallback_tasks,
             "warmback_returned": self.warmback_returned,
             "store_hits": self.store_hits,
+            "verdict_store_hits": self.verdict_store_hits,
         }
 
 
@@ -215,5 +225,6 @@ def execute_tasks(
         fallback_task_ids=outcome.fallback_task_ids,
         warmback_returned=len(outcome.warmback),
         store_hits=outcome.store_hits,
+        verdict_store_task_ids=outcome.verdict_store_task_ids,
     )
     return verdicts, report, outcome.warmback

@@ -59,7 +59,11 @@ __all__ = [
     "describe_warm_state",
 ]
 
-PERSIST_FORMAT = 1
+# Format 2: WarmState grew the verdict-ledger fields (equivalence classes
+# + refutation witnesses).  The constant participates in the pipeline
+# fingerprint, so every format-1 state and store tree is cleanly stale —
+# never half-loaded with the ledger missing.
+PERSIST_FORMAT = 2
 
 # The one pickling contract for every persisted compile artefact: the warm
 # state (this module) and the content-addressed compile store
@@ -217,6 +221,14 @@ class WarmState:
     loading engine restores both orientations).  Entries are ordered
     least- to most-recently used so that replaying them through ``put``
     reproduces the source engine's eviction order.
+
+    ``verdict_classes`` and ``verdict_refutations`` round-trip the
+    engine's verdict ledger (:mod:`repro.engine.verdicts`): the size-≥2
+    equivalence classes (members digest-sorted) and the
+    ``(repr_a, repr_b, witness)`` refutation triples between class
+    representatives, exactly the deterministic shape
+    :meth:`VerdictLedger.snapshot` produces — so a warm reload restores
+    the transitive-inference tier, not just the flat caches.
     """
 
     fingerprint: str
@@ -224,6 +236,10 @@ class WarmState:
     verdicts: List[Tuple[Tuple[Expr, Expr], EquivalenceResult]]
     created_at: float = 0.0
     meta: Dict[str, Any] = field(default_factory=dict)
+    verdict_classes: List[List[Expr]] = field(default_factory=list)
+    verdict_refutations: List[Tuple[Expr, Expr, Tuple[str, ...]]] = field(
+        default_factory=list
+    )
 
 
 def save_warm_state(state: WarmState, path: str) -> str:
@@ -312,6 +328,8 @@ def describe_warm_state(path: str) -> Dict[str, Any]:
         "fresh": state.fingerprint == pipeline_fingerprint(),
         "wfa_entries": len(state.wfas),
         "verdict_entries": len(state.verdicts),
+        "equivalence_classes": len(getattr(state, "verdict_classes", [])),
+        "refutation_entries": len(getattr(state, "verdict_refutations", [])),
         "created_at": state.created_at,
         "meta": dict(state.meta),
     }
@@ -321,6 +339,10 @@ def make_warm_state(
     wfas: List[Tuple[Expr, WFA]],
     verdicts: List[Tuple[Tuple[Expr, Expr], EquivalenceResult]],
     meta: Optional[Dict[str, Any]] = None,
+    verdict_classes: Optional[List[List[Expr]]] = None,
+    verdict_refutations: Optional[
+        List[Tuple[Expr, Expr, Tuple[str, ...]]]
+    ] = None,
 ) -> WarmState:
     """Assemble a snapshot stamped with the current fingerprint."""
     return WarmState(
@@ -329,4 +351,6 @@ def make_warm_state(
         verdicts=verdicts,
         created_at=time.time(),
         meta=dict(meta or {}),
+        verdict_classes=list(verdict_classes or []),
+        verdict_refutations=list(verdict_refutations or []),
     )

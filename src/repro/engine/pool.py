@@ -187,7 +187,7 @@ def _worker_main(
     # the first chunk) and lets the parent verify this worker runs the
     # same pipeline before trusting any of its results.
     from repro.engine.executor import decide_pure
-    from repro.engine.persist import pipeline_fingerprint
+    from repro.engine.persist import expr_digest, pipeline_fingerprint
     from repro.linalg import kernels as _kernels
     from repro.util.cache import LRUCache
 
@@ -225,6 +225,7 @@ def _worker_main(
             started = time.perf_counter()
             warmback: List[Tuple[Expr, WFA]] = []
             verdicts: List[Tuple[int, object]] = []
+            verdict_served: List[int] = []
             hits_before = store_memo.store_hits
             if kind == "star":
                 for task_id, matrix in tasks:
@@ -232,6 +233,22 @@ def _worker_main(
             else:
                 fresh: List[Expr] = []
                 for task_id, left, right in tasks:
+                    # Verdict tier first: a fleet-published verdict answers
+                    # the task with no compile and no Tzeng run.  The store
+                    # holds only *direct* decisions, so serving one here is
+                    # byte-identical to deciding.  Failures degrade to a
+                    # plain miss, like every other store read.
+                    if store is not None:
+                        try:
+                            served = store.get_verdict(
+                                expr_digest(left), expr_digest(right)
+                            )
+                        except Exception:
+                            served = None
+                        if served is not None:
+                            verdict_served.append(task_id)
+                            verdicts.append((task_id, served))
+                            continue
                     for expr in (left, right):
                         if expr not in memo:
                             fresh.append(expr)
@@ -255,6 +272,7 @@ def _worker_main(
                     warmback,
                     time.perf_counter() - started,
                     store_memo.store_hits - hits_before,
+                    verdict_served,
                 )
             )
     except (EOFError, BrokenPipeError, OSError):  # parent went away
@@ -285,6 +303,7 @@ class PoolBatchOutcome:
         "restarts",
         "store_hits",
         "fallback_task_ids",
+        "verdict_store_task_ids",
     )
 
     def __init__(self):
@@ -298,6 +317,10 @@ class PoolBatchOutcome:
         # already in the owning engine's caches — the merge must not
         # store, and so count, them twice).
         self.fallback_task_ids: set = set()
+        # Task ids the workers answered from the shared *verdict* store —
+        # whole decisions avoided; the owning engine records these as
+        # served, not decided, and never re-publishes them.
+        self.verdict_store_task_ids: set = set()
 
 
 class WorkerPool:
@@ -484,6 +507,7 @@ class WorkerPool:
                 warmback,
                 seconds,
                 store_hits,
+                verdict_served,
             ) = message
             if msg_epoch != epoch or chunk_id not in pending:
                 return
@@ -494,6 +518,7 @@ class WorkerPool:
             outcome.worker_seconds += seconds
             outcome.max_chunk_seconds = max(outcome.max_chunk_seconds, seconds)
             outcome.store_hits += store_hits
+            outcome.verdict_store_task_ids.update(verdict_served)
 
         def retire(handle: _WorkerHandle, salvage: bool) -> None:
             """Remove a worker; optionally keep what it already sent."""

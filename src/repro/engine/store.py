@@ -18,12 +18,17 @@ An entry is keyed by *content*, not by session:
 fingerprint (:mod:`repro.engine.persist`).  Two hosts derive the same key
 for structurally equal expressions iff they run the same pipeline, so a
 store hit can never serve an automaton with different semantics than a
-fresh compile.  On disk::
+fresh compile.  The store holds two entry kinds under the same
+discipline: compiled automata (``.wfa``, keyed by one digest) and
+**verdicts** (``.verdict``, keyed by the *unordered* digest pair joined
+with ``-`` — equivalence is symmetric, so both orientations address one
+entry).  On disk::
 
     root/
       <fingerprint>/                 one directory per pipeline version
         index                        scan-free eviction index (append-only)
         <digest[:2]>/<digest>.wfa    one entry file per expression digest
+        <dA[:2]>/<dA>-<dB>.verdict   one entry per decided digest pair
 
 Writes are **atomic**: the payload is written to a ``.tmp-*`` file in the
 fingerprint directory and ``os.replace``d into place (``fsync`` optional),
@@ -86,6 +91,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.automata.equivalence import EquivalenceResult
 from repro.automata.wfa import WFA
 from repro.core.expr import Expr
 from repro.engine.persist import (
@@ -103,11 +109,13 @@ __all__ = [
     "describe_store",
     "gc_store",
     "open_default_store",
+    "verdict_pair_key",
 ]
 
 STORE_FORMAT = 1
 
 _MAGIC = "nka-compile-store"
+_VERDICT_MAGIC = "nka-verdict-store"
 
 # Environment variable naming a store root every engine should share by
 # default (see repro.engine.NKAEngine): one knob turns a whole fleet warm.
@@ -120,7 +128,19 @@ NEGATIVE_TTL_SECONDS = 2.0
 
 _INDEX_NAME = "index"
 _ENTRY_SUFFIX = ".wfa"
+_VERDICT_SUFFIX = ".verdict"
 _TMP_PREFIX = ".tmp-"
+
+_DIGEST_LEN = 64
+_PAIR_KEY_LEN = 2 * _DIGEST_LEN + 1  # "<dA>-<dB>", digests are hex so '-' is unambiguous
+
+
+def verdict_pair_key(digest_a: str, digest_b: str) -> str:
+    """The unordered store key of a digest pair (equivalence is symmetric,
+    so both query orientations must address the same entry)."""
+    if digest_a <= digest_b:
+        return f"{digest_a}-{digest_b}"
+    return f"{digest_b}-{digest_a}"
 
 
 class CompileStore:
@@ -164,6 +184,11 @@ class CompileStore:
             "compile-store.positive", maxsize=max(1, lookup_cache_size), register=False
         )
         self._negative: "OrderedDict[str, float]" = OrderedDict()
+        # Positive *presence* (key known on disk, payload not necessarily
+        # decoded): lets contains()/contains_many() answer repeat probes of
+        # present-but-unloaded entries without re-stat-ing — the planner's
+        # cost model probes every batch expression every plan.
+        self._present: "OrderedDict[str, float]" = OrderedDict()
         self._negative_cap = max(16, 4 * lookup_cache_size)
         self._fingerprint: Optional[str] = None
         # Running per-process estimate of the fingerprint directory's size;
@@ -178,6 +203,10 @@ class CompileStore:
         self.evictions = 0
         self.corrupt_skipped = 0
         self.write_errors = 0
+        self.verdict_hits = 0
+        self.verdict_misses = 0
+        self.verdict_publishes = 0
+        self.verdict_publish_skipped = 0
 
     # -- addressing ---------------------------------------------------------
 
@@ -191,10 +220,9 @@ class CompileStore:
     def _fingerprint_dir(self) -> str:
         return os.path.join(self.root, self.fingerprint)
 
-    def _entry_path(self, digest: str) -> str:
-        return os.path.join(
-            self._fingerprint_dir(), digest[:2], digest + _ENTRY_SUFFIX
-        )
+    def _entry_path(self, key: str) -> str:
+        suffix = _VERDICT_SUFFIX if len(key) == _PAIR_KEY_LEN else _ENTRY_SUFFIX
+        return os.path.join(self._fingerprint_dir(), key[:2], key + suffix)
 
     def _index_path(self) -> str:
         return os.path.join(self._fingerprint_dir(), _INDEX_NAME)
@@ -231,6 +259,26 @@ class CompileStore:
         self._negative.move_to_end(digest)
         while len(self._negative) > self._negative_cap:
             self._negative.popitem(last=False)
+        self._present.pop(digest, None)
+
+    def _present_get(self, key: str) -> bool:
+        # Presence is trusted for the same TTL as absence: another process
+        # may evict an entry, and a stale "present" only mis-prices one
+        # plan — get() still treats the vanished file as a plain miss.
+        entry = self._present.get(key)
+        if entry is None:
+            return False
+        if time.monotonic() - entry >= self.negative_ttl:
+            self._present.pop(key, None)
+            return False
+        return True
+
+    def _present_put(self, key: str) -> None:
+        self._present[key] = time.monotonic()
+        self._present.move_to_end(key)
+        while len(self._present) > self._negative_cap:
+            self._present.popitem(last=False)
+        self._negative.pop(key, None)
 
     def get(self, expr: Expr) -> Optional[WFA]:
         """The stored automaton of ``expr``, or ``None`` (a miss).
@@ -297,18 +345,37 @@ class CompileStore:
     def contains(self, expr: Expr) -> bool:
         """Whether an entry for ``expr`` is (believed) present — the cheap
         membership probe the planner's cost model uses.  Consults only the
-        in-process caches plus one ``stat``; never reads the payload."""
+        in-process caches plus at most one ``stat``; never reads the
+        payload.  Both outcomes are TTL-cached, so repeat probes of the
+        same digest within a plan (or across back-to-back plans) cost no
+        syscall at all."""
         digest = expr_digest(expr)
+        return digest in self.contains_digests((digest,))
+
+    def contains_digests(self, digests: Iterable[str]):
+        """The subset of ``digests`` with a (believed) present entry.
+
+        One pass through the in-process caches per digest, at most one
+        ``stat`` per digest that neither cache can answer — planning a
+        batch costs O(1) syscalls per *novel* digest, not per probe.
+        """
+        present = set()
+        unresolved = []
         with self._lock:
-            if digest in self._positive:
-                return True
-            if self._negative_get(digest):
-                return False
-        if os.path.exists(self._entry_path(digest)):
-            return True
-        with self._lock:
-            self._negative_put(digest)
-        return False
+            for digest in digests:
+                if digest in self._positive or self._present_get(digest):
+                    present.add(digest)
+                elif not self._negative_get(digest):
+                    unresolved.append(digest)
+        for digest in unresolved:
+            if os.path.exists(self._entry_path(digest)):
+                present.add(digest)
+                with self._lock:
+                    self._present_put(digest)
+            else:
+                with self._lock:
+                    self._negative_put(digest)
+        return present
 
     # -- publish ------------------------------------------------------------
 
@@ -322,13 +389,28 @@ class CompileStore:
         ``write_errors``), not a crashed engine.
         """
         digest = expr_digest(expr)
-        path = self._entry_path(digest)
-        if os.path.exists(path):
+        if os.path.exists(self._entry_path(digest)):
             with self._lock:
                 self.publish_skipped += 1
-                self._negative.pop(digest, None)
+                self._present_put(digest)
             return False
         data = dumps_artifact((_MAGIC, STORE_FORMAT, self.fingerprint, digest, wfa))
+        if not self._write_entry(digest, data):
+            return False
+        with self._lock:
+            self.publishes += 1
+            self._positive.put(digest, wfa)
+            self._present_put(digest)
+            if self._bytes_estimate is not None:
+                self._bytes_estimate += len(data)
+        if self.max_bytes is not None and self._estimate_bytes() > self.max_bytes:
+            self.evict()
+        return True
+
+    def _write_entry(self, key: str, data: bytes) -> bool:
+        """Atomically land one entry file + its index line; ``False`` (and a
+        ``write_errors`` bump) on any I/O problem."""
+        path = self._entry_path(key)
         fingerprint_dir = self._fingerprint_dir()
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -352,24 +434,107 @@ class CompileStore:
             # between leaves an unindexed (evict-invisible) entry that
             # ``gc`` re-indexes, never a phantom index line for a torn file.
             with open(self._index_path(), "a") as index:
-                index.write(f"{digest} {len(data)}\n")
+                index.write(f"{key} {len(data)}\n")
         except OSError:
             with self._lock:
                 self.write_errors += 1
             return False
+        return True
+
+    def publish_many(self, items: Iterable[Tuple[Expr, WFA]]) -> int:
+        """Publish a batch (e.g. a warm-back merge); returns entries written."""
+        return sum(1 for expr, wfa in items if self.publish(expr, wfa))
+
+    # -- verdict entries ------------------------------------------------------
+
+    def get_verdict(self, digest_a: str, digest_b: str) -> Optional[EquivalenceResult]:
+        """The stored :class:`EquivalenceResult` of an unordered digest
+        pair, or ``None`` — same silently-a-miss contract as :meth:`get`."""
+        key = verdict_pair_key(digest_a, digest_b)
         with self._lock:
-            self.publishes += 1
-            self._positive.put(digest, wfa)
-            self._negative.pop(digest, None)
+            cached = self._positive.get(key)
+            if cached is not None:
+                self.verdict_hits += 1
+                return cached
+            if self._negative_get(key):
+                self.negative_hits += 1
+                self.verdict_misses += 1
+                return None
+        path = self._entry_path(key)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            with self._lock:
+                self._negative_put(key)
+                self.verdict_misses += 1
+            return None
+        result = self._decode_verdict(data, key, path)
+        with self._lock:
+            if result is None:
+                self.corrupt_skipped += 1
+                self.verdict_misses += 1
+                return None
+            self._positive.put(key, result)
+            self._negative.pop(key, None)
+            self.verdict_hits += 1
+        return result
+
+    def _decode_verdict(
+        self, data: bytes, key: str, path: str
+    ) -> Optional[EquivalenceResult]:
+        try:
+            payload = loads_artifact(data)
+        except WarmStateError:
+            payload = None
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 5
+            or payload[0] != _VERDICT_MAGIC
+            or payload[1] != STORE_FORMAT
+            or payload[2] != self.fingerprint
+            or payload[3] != key
+            or not isinstance(payload[4], EquivalenceResult)
+        ):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        return payload[4]
+
+    def publish_verdict(
+        self, digest_a: str, digest_b: str, result: EquivalenceResult
+    ) -> bool:
+        """Write one decided verdict; ``True`` iff a new entry landed (the
+        fleet decides each distinct pair at most once)."""
+        key = verdict_pair_key(digest_a, digest_b)
+        if os.path.exists(self._entry_path(key)):
+            with self._lock:
+                self.verdict_publish_skipped += 1
+                self._negative.pop(key, None)
+            return False
+        data = dumps_artifact((_VERDICT_MAGIC, STORE_FORMAT, self.fingerprint, key, result))
+        if not self._write_entry(key, data):
+            return False
+        with self._lock:
+            self.verdict_publishes += 1
+            self._positive.put(key, result)
+            self._negative.pop(key, None)
             if self._bytes_estimate is not None:
                 self._bytes_estimate += len(data)
         if self.max_bytes is not None and self._estimate_bytes() > self.max_bytes:
             self.evict()
         return True
 
-    def publish_many(self, items: Iterable[Tuple[Expr, WFA]]) -> int:
-        """Publish a batch (e.g. a warm-back merge); returns entries written."""
-        return sum(1 for expr, wfa in items if self.publish(expr, wfa))
+    def publish_verdicts(
+        self, items: Iterable[Tuple[str, str, EquivalenceResult]]
+    ) -> int:
+        """Publish decided verdicts in bulk; returns entries written."""
+        return sum(
+            1 for digest_a, digest_b, result in items
+            if self.publish_verdict(digest_a, digest_b, result)
+        )
 
     # -- eviction -----------------------------------------------------------
 
@@ -381,7 +546,10 @@ class CompileStore:
             with open(self._index_path(), "r") as handle:
                 for line in handle:
                     parts = line.split()
-                    if len(parts) != 2 or len(parts[0]) != 64:
+                    if len(parts) != 2 or len(parts[0]) not in (
+                        _DIGEST_LEN,
+                        _PAIR_KEY_LEN,
+                    ):
                         continue  # torn or foreign line: skip, never raise
                     try:
                         entries[parts[0]] = int(parts[1])
@@ -435,6 +603,7 @@ class CompileStore:
                         total -= size
                         evicted += 1
                         self._positive.pop(digest)
+                        self._present.pop(digest, None)
                     else:
                         keep.append((mtime, digest, size))
                 survivors = keep
@@ -467,6 +636,7 @@ class CompileStore:
         with self._lock:
             self._positive.clear()
             self._negative.clear()
+            self._present.clear()
 
     def stats(self) -> Dict[str, Any]:
         """JSON-friendly counters (the ``store`` section of engine stats)."""
@@ -482,6 +652,10 @@ class CompileStore:
                 "evictions": self.evictions,
                 "corrupt_skipped": self.corrupt_skipped,
                 "write_errors": self.write_errors,
+                "verdict_hits": self.verdict_hits,
+                "verdict_misses": self.verdict_misses,
+                "verdict_publishes": self.verdict_publishes,
+                "verdict_publish_skipped": self.verdict_publish_skipped,
                 "bytes": self._estimate_bytes(),
                 "max_bytes": self.max_bytes,
                 "lookup_cached": len(self._positive),
@@ -520,6 +694,10 @@ def describe_store(root: str) -> Dict[str, Any]:
         "fingerprints": {},
         "entries": 0,
         "bytes": 0,
+        "wfa_entries": 0,
+        "wfa_bytes": 0,
+        "verdict_entries": 0,
+        "verdict_bytes": 0,
         "tmp_files": 0,
     }
     try:
@@ -530,8 +708,8 @@ def describe_store(root: str) -> Dict[str, Any]:
         version_dir = os.path.join(root, version)
         if not os.path.isdir(version_dir):
             continue
-        entries = 0
-        size = 0
+        counts = {_ENTRY_SUFFIX: 0, _VERDICT_SUFFIX: 0}
+        sizes = {_ENTRY_SUFFIX: 0, _VERDICT_SUFFIX: 0}
         indexed = 0
         for dirpath, _dirnames, filenames in os.walk(version_dir):
             for filename in filenames:
@@ -543,20 +721,32 @@ def describe_store(root: str) -> Dict[str, Any]:
                     with open(path) as handle:
                         indexed = sum(1 for _line in handle)
                     continue
-                if filename.endswith(_ENTRY_SUFFIX):
-                    entries += 1
-                    try:
-                        size += os.path.getsize(path)
-                    except OSError:
-                        pass
+                for suffix in (_ENTRY_SUFFIX, _VERDICT_SUFFIX):
+                    if filename.endswith(suffix):
+                        counts[suffix] += 1
+                        try:
+                            sizes[suffix] += os.path.getsize(path)
+                        except OSError:
+                            pass
+                        break
+        entries = counts[_ENTRY_SUFFIX] + counts[_VERDICT_SUFFIX]
+        size = sizes[_ENTRY_SUFFIX] + sizes[_VERDICT_SUFFIX]
         description["fingerprints"][version] = {
             "entries": entries,
             "bytes": size,
+            "wfa_entries": counts[_ENTRY_SUFFIX],
+            "wfa_bytes": sizes[_ENTRY_SUFFIX],
+            "verdict_entries": counts[_VERDICT_SUFFIX],
+            "verdict_bytes": sizes[_VERDICT_SUFFIX],
             "indexed": indexed,
             "fresh": version == current,
         }
         description["entries"] += entries
         description["bytes"] += size
+        description["wfa_entries"] += counts[_ENTRY_SUFFIX]
+        description["wfa_bytes"] += sizes[_ENTRY_SUFFIX]
+        description["verdict_entries"] += counts[_VERDICT_SUFFIX]
+        description["verdict_bytes"] += sizes[_VERDICT_SUFFIX]
     return description
 
 
@@ -618,14 +808,17 @@ def gc_store(
     if os.path.isdir(current_dir):
         for dirpath, _dirnames, filenames in os.walk(current_dir):
             for filename in filenames:
-                if not filename.endswith(_ENTRY_SUFFIX):
+                if filename.endswith(_ENTRY_SUFFIX):
+                    key = filename[: -len(_ENTRY_SUFFIX)]
+                elif filename.endswith(_VERDICT_SUFFIX):
+                    key = filename[: -len(_VERDICT_SUFFIX)]
+                else:
                     continue
-                digest = filename[: -len(_ENTRY_SUFFIX)]
                 try:
                     stat = os.stat(os.path.join(dirpath, filename))
                 except OSError:
                     continue
-                survivors.append((stat.st_mtime, digest, stat.st_size))
+                survivors.append((stat.st_mtime, key, stat.st_size))
         store._rewrite_index(survivors)
         report["entries_reindexed"] = len(survivors)
     if max_bytes is not None:

@@ -282,11 +282,27 @@ class TestEngineWiring:
             assert published > 0
             assert published == publisher.compilations
         with NKAEngine("store-sub", store=root) as served:
+            # The identical batch is answered entirely from the *verdict*
+            # store at plan time: zero compiles, zero decisions, not even
+            # a WFA read.
             verdicts = served.equal_many_detailed(pairs, workers=1)
             assert served.compilations == 0
+            assert served.stats()["decisions"] == 0
+            assert served.stats()["verdicts"]["store_hits"] == len(
+                {tuple(sorted(p, key=id)) for p in pairs if p[0] is not p[1]}
+            )
             stats = served.stats()["store"]
-            assert stats["parent_hits"] > 0
             assert stats["parent_publishes"] == 0
+            # *Recombined* pairs miss the verdict store but hit the WFA
+            # store: novel decisions, still zero compilations.  (Only
+            # exprs from non-pointer-equal pairs ever compiled/published.)
+            lefts = sorted(
+                {l for l, r in pairs if l is not r}, key=str
+            )
+            recombined = [(lefts[i], lefts[-1 - i]) for i in range(len(lefts) // 2)]
+            served.equal_many_detailed(recombined, workers=1)
+            assert served.compilations == 0
+            assert served.stats()["store"]["parent_hits"] > 0
         assert pickle.dumps(baseline) == pickle.dumps(verdicts)
 
     def test_env_variable_attaches_store(self, tmp_path, monkeypatch):
@@ -318,17 +334,26 @@ class TestEngineWiring:
         root = str(tmp_path)
         pairs = random_pairs(seed=902, count=40, depth=3, equal_fraction=0.2)
         with NKAEngine("store-pool-pub", store=root) as publisher:
-            baseline = publisher.equal_many_detailed(pairs, workers=1)
+            publisher.equal_many_detailed(pairs, workers=1)
+        # Recombined pairs: every expression is in the store, no *pair* is
+        # — the verdict tier misses, so a real pooled batch runs and the
+        # workers' compilations are served off the shared store (a cold
+        # worker on a second host starts warm).
+        exprs = sorted({e for pair in pairs for e in pair}, key=str)
+        recombined = [
+            (exprs[i], exprs[-1 - i]) for i in range(len(exprs) // 2)
+        ]
+        reference = NKAEngine("store-pool-ref").equal_many_detailed(
+            recombined, workers=1
+        )
         with NKAEngine("store-pool-sub", store=root, workers=2) as engine:
-            verdicts = engine.equal_many_detailed(pairs, workers=2)
+            verdicts = engine.equal_many_detailed(recombined, workers=2)
             stats = engine.stats()
             assert stats["last_batch"]["executor"]["mode"] == "pool"
-            # The workers' compilations were served off the shared store —
-            # a cold worker on a second host starts warm.
             assert stats["store"]["worker_hits"] > 0
             assert engine.compilations == 0
             assert stats["executor"]["pool"]["store"] == engine.store.root
-        assert pickle.dumps(baseline) == pickle.dumps(verdicts)
+        assert pickle.dumps(reference) == pickle.dumps(verdicts)
 
     def test_warmback_publishes_to_fleet(self, tmp_path, monkeypatch):
         """A parallel batch on a *store-backed* engine leaves the store

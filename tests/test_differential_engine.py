@@ -138,8 +138,117 @@ def store_served_verdicts(corpus, tmp_path_factory):
         assert served.compilations == 0, (
             f"{served.compilations} compilations despite a populated store"
         )
-        assert served.stats()["store"]["parent_hits"] > 0
+        # The verdict tier answers the repeat batch outright: published
+        # *verdicts* are served at plan time, so not even a Tzeng run —
+        # or a WFA read — happens on the repeat path.
+        assert served.stats()["decisions"] == 0
+        assert served.stats()["verdicts"]["store_hits"] > 0
     return verdicts
+
+
+def _chain_family(letters, factors, count, seed):
+    """``count`` distinct-but-equivalent re-associations of one product,
+    plus one refuting tail expression.
+
+    Associativity makes every binary re-association of the same factor
+    sequence denote the same series, so the family seeds a ``count``-sized
+    equivalence class; the tail appends an extra letter, refuting against
+    every member with one shared witness.
+    """
+    import random
+
+    from repro.core.expr import sym
+
+    rng = random.Random(seed)
+    syms = [sym(letters[i % len(letters)] + str(i)) for i in range(factors)]
+
+    def associate(lo, hi):
+        if hi - lo == 1:
+            return syms[lo]
+        split = rng.randint(lo + 1, hi - 1)
+        return associate(lo, split) * associate(split, hi)
+
+    family = []
+    seen = set()
+    while len(family) < count:
+        expr = associate(0, factors)
+        if expr not in seen:
+            seen.add(expr)
+            family.append(expr)
+    tail = family[0] * sym("tail")
+    return family, tail
+
+
+@pytest.fixture(scope="module")
+def chain():
+    family, tail = _chain_family(("a", "b", "c"), factors=8, count=6, seed=77)
+    adjacent = [(family[i], family[i + 1]) for i in range(len(family) - 1)]
+    adjacent.append((family[0], tail))
+    closure = [
+        (family[i], family[j])
+        for i in range(len(family))
+        for j in range(i + 2, len(family))
+    ]
+    closure.extend((member, tail) for member in family[1:])
+    return adjacent, closure
+
+
+def test_inferred_verdicts_byte_identical_modulo_reason(corpus, chain):
+    """(f) The inference tier: ``infer_verdicts=True`` over the corpus plus
+    seeded transitive chains.  The seeding batch decides corpus + adjacent
+    chain pairs; the closure batch is then answered *entirely* by the
+    union–find — zero decisions, zero compilations — and every verdict
+    must be byte-identical to a direct decision modulo the canonical
+    ``inferred:`` reason tag, with every inferred counterexample word
+    re-verified against both series."""
+    adjacent, closure = chain
+    inferring = NKAEngine("diff-infer", infer_verdicts=True)
+    inferring.equal_many_detailed(corpus + adjacent, workers=1)
+    decided = inferring.stats()["decisions"]
+    compiled = inferring.compilations
+    inferred = inferring.equal_many_detailed(closure, workers=1)
+    assert inferring.stats()["decisions"] == decided, "closure ran Tzeng"
+    assert inferring.compilations == compiled, "closure compiled something"
+    stats = inferring.stats()["verdicts"]
+    assert stats["inferred_equal"] > 0 and stats["inferred_refuted"] > 0
+
+    oracle = NKAEngine("diff-infer-oracle", infer_verdicts=False)
+    oracle.equal_many_detailed(corpus + adjacent, workers=1)
+    direct = oracle.equal_many_detailed(closure, workers=1)
+
+    checker = NKAEngine("diff-infer-checker")
+    for index, (fast, slow) in enumerate(zip(inferred, direct)):
+        assert fast.equal == slow.equal, f"closure pair #{index}"
+        assert fast.counterexample == slow.counterexample, f"closure pair #{index}"
+        assert fast.reason.startswith("inferred:"), fast.reason
+        if fast.counterexample is not None:
+            left, right = closure[index]
+            assert (
+                checker.coefficient(left, fast.counterexample)
+                != checker.coefficient(right, fast.counterexample)
+            ), f"inferred witness does not distinguish closure pair #{index}"
+
+    # Byte-identity modulo the reason tag: re-tag and compare pickles.
+    from repro.automata.equivalence import EquivalenceResult
+
+    for index, (fast, slow) in enumerate(zip(inferred, direct)):
+        retagged = EquivalenceResult(
+            equal=fast.equal,
+            counterexample=fast.counterexample,
+            reason=slow.reason,
+        )
+        assert pickle.dumps(retagged) == pickle.dumps(slow), (
+            f"closure pair #{index} differs beyond the reason tag"
+        )
+
+
+def test_inference_off_is_the_default_and_oracle_equal(corpus):
+    """``REPRO_VERDICT_INFER`` unset → inference off; verdicts unchanged."""
+    engine = NKAEngine("diff-infer-default")
+    assert engine.stats()["verdicts"]["infer_enabled"] is False
+    toggled = NKAEngine("diff-infer-toggle")
+    toggled.configure(infer_verdicts=True)
+    assert toggled.stats()["verdicts"]["infer_enabled"] is True
 
 
 def test_corpus_is_the_mandated_200_pairs(corpus):
