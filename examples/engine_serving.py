@@ -1,48 +1,51 @@
-"""Serving NKA decisions at scale: the engine subsystem walkthrough.
+"""Serving NKA decisions: the async multi-tenant front-end walkthrough.
 
 Run: ``PYTHONPATH=src python examples/engine_serving.py``
 
-A production verifier answers *streams* of equality queries — axiom sweeps,
-normal-form checks, compiler-rule validation — not one-off calls.  This
-example walks the levers :class:`repro.engine.NKAEngine` adds:
+A production verifier answers *streams* of equality queries from many
+clients at once — axiom sweeps, normal-form checks, compiler-rule
+validation.  Earlier revisions of this example drove a bare
+:class:`repro.engine.NKAEngine`; this one is a client of the tier that
+now sits on top, :class:`repro.serving.NKAService`:
 
-1. **isolated sessions** — per-tenant caches in one process;
-2. **a persistent worker pool** — forked once per engine, surviving across
-   batches, feeding compiled automata back to the parent over the
-   warm-back channel, and torn down deterministically by the context
-   manager;
-3. **lifecycle under failure** — a SIGKILLed worker is replaced without
-   changing a verdict;
-4. **persistent warm start** — serialize the caches (including what the
-   *workers* compiled), reload in a fresh session or process, and answer a
-   known workload with zero compilations;
-5. **a shared compile store** — two replica engines pointed at one
-   content-addressed directory (``NKAEngine(store=...)`` or the
-   ``REPRO_COMPILE_STORE`` env var): the first replica compiles and
-   publishes, the second answers the same traffic with *zero*
-   compilations, deserializing every automaton off disk.  Unlike warm
-   state (an explicit snapshot of one session), the store is fleet-wide
-   and always-on — every compile anywhere lands in it at most once, and
-   inspection/garbage collection ship as an ops CLI:
-   ``python -m repro.engine.store describe|gc <dir>``;
-6. **the verdict tier** — the store also holds whole *verdicts* (keyed by
-   the unordered digest pair), so a replica skips not just the compile but
-   the Tzeng run too; and with ``NKAEngine(infer_verdicts=True)`` (or
-   ``REPRO_VERDICT_INFER=1``) a union–find ledger over proven-equal
-   expressions answers *transitive* queries — decide the k−1 adjacent
-   pairs of a chain and the whole C(k,2) closure is inferred with zero
-   compiles and zero decisions.
+1. **multi-tenant isolation** — one engine per tenant, each with its own
+   caches, quotas and knobs; no shared state unless opted into;
+2. **coalescing** — concurrent ``await service.equal(...)`` calls from
+   independent client coroutines are merged into one planned
+   ``equal_many`` batch, so the engine planner's dedupe/sharing works
+   *across* requests without any client cooperation;
+3. **backpressure** — a flooding tenant is rejected with 429 semantics at
+   its own ``max_queue`` while its neighbours never notice;
+4. **fleet verdict sharing** — two tenants pointed at one compile store:
+   the coalescer's second-chance probe lets one tenant *serve* a verdict
+   its sibling published moments ago, negative cache notwithstanding;
+5. **an HTTP front door** — ``POST /equal`` and ``GET /stats`` on a
+   stdlib asyncio server;
+6. **graceful drain** — ``close()`` answers everything admitted, then
+   reaps every tenant engine (no leaked pool workers).
+
+The engine-level levers underneath (persistent worker pools, warm-state
+snapshots, the content-addressed compile store, the verdict ledger) are
+walked through in ``benchmarks/bench_engine_throughput.py`` and
+``src/repro/engine/README.md``.
 """
 
+import asyncio
+import json
 import os
 import random
-import signal
 import tempfile
-import time
 
-from repro import NKAEngine, parse
+from repro import parse
 from repro.core.expr import Expr, Product, Star, Sum, Symbol
-from repro.engine import describe_warm_state
+from repro.engine.persist import expr_digest
+from repro.engine.store import CompileStore
+from repro.serving import (
+    NKAService,
+    ServingHTTPServer,
+    TenantConfig,
+    TenantQuotaExceeded,
+)
 
 
 def section(title: str) -> None:
@@ -62,194 +65,131 @@ def random_expr(rng: random.Random, letters, depth: int) -> Expr:
 
 
 def make_workload(count: int = 150, seed: int = 11):
-    """A mixed batch with duplicates and shared subterms, like real traffic."""
+    """A mixed stream with duplicates and shared subterms, like real traffic."""
     rng = random.Random(seed)
     pool = [random_expr(rng, ["a", "b", "c"], 4) for _ in range(count // 3)]
-    batch = []
-    for _ in range(count):
-        left, right = rng.choice(pool), rng.choice(pool)
-        batch.append((left, right))
-    return batch
+    return [(rng.choice(pool), rng.choice(pool)) for _ in range(count)]
+
+
+async def http_request(port: int, method: str, path: str, payload=None):
+    """A bare-hands HTTP/1.1 client — what the front door looks like on a wire."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = b"" if payload is None else json.dumps(payload).encode()
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\nHost: localhost\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n".encode() + body
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    status = int(raw.split(b" ", 2)[1])
+    return status, json.loads(raw.split(b"\r\n\r\n", 1)[1])
+
+
+async def walkthrough() -> None:
+    section("1. A multi-tenant service")
+    store_root = os.path.join(tempfile.gettempdir(), "nka-serving-example")
+    service = await NKAService(
+        [
+            # Default knobs: 256-deep queue, 64-wide batches, 2 ms window.
+            TenantConfig("ci"),
+            # A latency-sensitive tenant with a tight queue and no batching.
+            TenantConfig("interactive", max_queue=8, max_batch=1),
+            # Two replica-shaped tenants sharing one verdict/compile store
+            # (replica-b keeps an inspectable handle for section 4).
+            TenantConfig("replica-a", store=store_root),
+            TenantConfig("replica-b", store=(store_b := CompileStore(store_root))),
+        ]
+    ).start()
+    left, right = parse("(a b)* a"), parse("a (b a)*")
+    print(f"  tenants: {service.tenant_names()}")
+    print(f"  ci decides (a b)* a == a (b a)*: {await service.equal('ci', left, right)}")
+    stats = service.stats()["tenants"]
+    print(f"  ci decisions: {stats['ci']['engine']['decisions']}, "
+          f"interactive decisions: "
+          f"{stats['interactive']['engine']['decisions']} (isolated)")
+
+    section("2. Concurrent clients coalesce into planned batches")
+    workload = make_workload()
+    results = await asyncio.gather(
+        *(service.equal_detailed("ci", l, r) for l, r in workload)
+    )
+    row = service.stats()["tenants"]["ci"]
+    planner = row["engine"]["planner"]
+    print(f"  {len(workload)} concurrent requests answered "
+          f"({sum(r.equal for r in results)} equal) in {row['batches']} "
+          f"engine batches — coalesce ratio {row['coalesce_ratio']:.1f}")
+    print(f"  planner saw the batch, not the requests: "
+          f"{planner['pointer_equal']:.0f} pointer-equal, "
+          f"{planner['duplicates']:.0f} duplicates, "
+          f"{planner['verdict_cache_hits']:.0f} cache hits "
+          f"(dedupe ratio {planner['dedupe_ratio']:.0%})")
+    print(f"  latency: p50 {row['latency']['p50_ms']} ms, "
+          f"p99 {row['latency']['p99_ms']} ms")
+
+    section("3. Backpressure: the flooding tenant pays, neighbours don't")
+    flood = make_workload(count=40, seed=23)
+    outcomes = await asyncio.gather(
+        *(service.equal("interactive", l, r) for l, r in flood),
+        return_exceptions=True,
+    )
+    rejected = sum(isinstance(o, TenantQuotaExceeded) for o in outcomes)
+    served = len(outcomes) - rejected
+    print(f"  interactive (max_queue=8) under a 40-request flood: "
+          f"{served} served, {rejected} rejected with 429 semantics")
+    print(f"  ci is untouched: "
+          f"{service.stats()['tenants']['ci']['rejected']} rejections there")
+
+    section("4. Fleet verdict sharing + the second-chance probe")
+    # replica-b's store handle caches *misses* for a couple of seconds
+    # (negative TTL): probe for a verdict nobody has published yet …
+    assert store_b.get_verdict(expr_digest(left), expr_digest(right)) is None
+    # … then replica-a decides and publishes it.  Without the coalescer's
+    # second-chance probe, replica-b's cached miss would hide the verdict
+    # for the rest of the TTL; with it, the pair's negative entries are
+    # dropped just before planning and the verdict is *served*.
+    await service.equal_detailed("replica-a", left, right)   # decides + publishes
+    await service.equal_detailed("replica-b", left, right)   # served off the store
+    b = service.stats()["tenants"]["replica-b"]
+    print(f"  replica-b: {b['engine']['decisions']} Tzeng runs, "
+          f"{b['engine']['verdicts']['store_hits']} verdicts off the store, "
+          f"{b['negative_invalidated']} negative-cache entries dropped "
+          f"by the second-chance probe")
+
+    section("5. The HTTP front door")
+    async with ServingHTTPServer(service) as http:
+        status, verdict = await http_request(
+            http.port, "POST", "/equal",
+            {"tenant": "ci", "left": "(a b)* a", "right": "a (b a)*"},
+        )
+        print(f"  POST /equal -> {status} {verdict}")
+        status, doc = await http_request(http.port, "GET", "/stats")
+        print(f"  GET /stats -> {status}, service has handled "
+              f"{doc['service']['completed']} requests across "
+              f"{doc['service']['tenant_count']} tenants")
+
+    section("6. Graceful drain")
+    tail = asyncio.gather(
+        *(service.equal("ci", l, r) for l, r in make_workload(30, seed=47))
+    )
+    await asyncio.sleep(0)           # let admission run, then close under it
+    await service.close()
+    verdicts = await tail            # admitted before close => still answered
+    print(f"  {len(verdicts)} in-flight requests answered through the drain")
+    print(f"  pool workers reaped: ci worker_pids == "
+          f"{service.engine('ci').worker_pids()}")
+    try:
+        await service.equal("ci", left, right)
+    except Exception as error:
+        print(f"  post-close admission: {type(error).__name__} ({error})")
+
+    from repro.engine import gc_store
+
+    gc_store(store_root, max_bytes=0)
 
 
 def main() -> None:
-    section("1. Isolated sessions")
-    tenant_a = NKAEngine("tenant-a")
-    tenant_b = NKAEngine("tenant-b", wfa_capacity=256, result_capacity=256)
-    left, right = parse("(a b)* a"), parse("a (b a)*")
-    print(f"  tenant-a decides: {tenant_a.equal(left, right)}")
-    print(f"  tenant-a decisions: {tenant_a.stats()['decisions']}, "
-          f"tenant-b decisions: {tenant_b.stats()['decisions']} (isolated)")
-
-    section("2. A persistent pool serving consecutive batches")
-    state_path = os.path.join(tempfile.gettempdir(), "nka-warm-example.pickle")
-    batch = make_workload()
-    second_batch = make_workload(seed=23)
-    with NKAEngine("serving", workers=4) as engine:
-        started = time.perf_counter()
-        verdicts = engine.equal_many(batch)          # planned + pooled
-        elapsed = time.perf_counter() - started
-        stats = engine.stats()
-        planner = stats["planner"]
-        print(f"  {len(batch)} queries answered in {elapsed * 1000:.1f} ms "
-              f"({sum(verdicts)} equal)")
-        print(f"  planner: {planner['tasks']} tasks after dedupe "
-              f"(ratio {planner['dedupe_ratio']:.0%}: {planner['pointer_equal']} "
-              f"pointer-equal, {planner['duplicates']} duplicates, "
-              f"{planner['verdict_cache_hits']} cache hits)")
-        print(f"  executor: {stats['last_batch']['executor']}")
-        if engine.pool_stats():
-            print(f"  pool: {engine.pool_stats()}")
-            print(f"  warm-back: {stats['warm_back']['merged']} worker-compiled "
-                  f"WFAs merged into the parent cache "
-                  f"(parent compiled {stats['compilations']})")
-
-        # The second batch reuses the same live workers — no fork cost —
-        # and everything warm-backed from batch 1 is already cached.
-        started = time.perf_counter()
-        engine.equal_many(second_batch)
-        elapsed = time.perf_counter() - started
-        lifetime = engine.stats()["executor"]
-        print(f"  second batch: {elapsed * 1000:.1f} ms on the same workers "
-              f"(lifetime: {lifetime['batches']} batches, "
-              f"{lifetime['tasks_executed']} tasks, "
-              f"{lifetime['worker_restarts']} restarts)")
-
-        section("3. Worker death is invisible in the verdicts")
-        pids = engine.worker_pids()
-        if pids:
-            os.kill(pids[0], signal.SIGKILL)
-            print(f"  SIGKILLed worker {pids[0]}")
-        replay = engine.equal_many(batch)            # all verdict-cache hits
-        third = engine.equal_many(make_workload(seed=47))
-        print(f"  replay identical: {replay == verdicts}; fresh batch of "
-              f"{len(third)} decided; restarts now: "
-              f"{engine.stats()['executor']['worker_restarts']}")
-
-        engine.save_warm_state(state_path)
-        print(f"  saved {os.path.getsize(state_path)} bytes of warm state")
-    print("  context exit: pool workers joined and reaped "
-          "(engine.worker_pids() == [])")
-
-    section("4. Warm start across sessions/processes")
-    info = describe_warm_state(state_path)
-    print(f"  state describes itself: {info['wfa_entries']} WFAs "
-          f"({info['meta']['warmback_merged']} from workers, "
-          f"{info['meta']['parent_compilations']} from the parent), "
-          f"{info['verdict_entries']} verdicts, fresh={info['fresh']}")
-
-    with NKAEngine("fresh-replica", warm_state=state_path) as fresh:
-        started = time.perf_counter()
-        warm_verdicts = fresh.equal_many(batch)
-        elapsed = time.perf_counter() - started
-        print(f"  fresh replica answered the batch in {elapsed * 1000:.2f} ms "
-              f"with {fresh.stats()['compilations']} compilations")
-        assert warm_verdicts == verdicts
-
-    # Stale states are rejected cleanly — serving wrappers fall back cold:
-    from repro.engine import StaleWarmStateError, load_warm_state, save_warm_state
-
-    state = load_warm_state(state_path)
-    state.fingerprint = "0" * 64
-    save_warm_state(state, state_path)
-    try:
-        NKAEngine("doomed", warm_state=state_path)
-    except StaleWarmStateError as error:
-        print(f"  stale state rejected: {str(error)[:68]}…")
-    survivor = NKAEngine("survivor", warm_state=state_path, strict_warm_state=False)
-    print(f"  lax mode starts cold instead: "
-          f"{survivor.stats()['warm_start']['verdicts_loaded']} verdicts loaded")
-    os.unlink(state_path)
-
-    section("5. Two replicas sharing one compile store")
-    # Replica A faces an empty store: it compiles the whole workload and
-    # publishes each automaton (content-addressed, at most once).  Replica
-    # B — a *fresh* engine, as if on another host mounting the same
-    # directory — answers the identical traffic without compiling at all.
-    store_root = os.path.join(tempfile.gettempdir(), "nka-store-example")
-    with NKAEngine("replica-a", store=store_root) as replica_a:
-        started = time.perf_counter()
-        store_verdicts = replica_a.equal_many(batch)
-        elapsed = time.perf_counter() - started
-        a_store = replica_a.stats()["store"]
-        print(f"  replica A: {elapsed * 1000:.1f} ms, "
-              f"{replica_a.stats()['compilations']} compilations, "
-              f"{a_store['parent_publishes']} automata published "
-              f"({a_store['bytes']} bytes on disk)")
-
-    with NKAEngine("replica-b", store=store_root) as replica_b:
-        started = time.perf_counter()
-        replica_verdicts = replica_b.equal_many(batch)
-        elapsed = time.perf_counter() - started
-        b_verdicts = replica_b.stats()["verdicts"]
-        print(f"  replica B: {elapsed * 1000:.1f} ms, "
-              f"{replica_b.stats()['compilations']} compilations, "
-              f"{replica_b.stats()['decisions']} Tzeng runs "
-              f"({b_verdicts['store_hits']} whole verdicts off the store)")
-        assert replica_verdicts == store_verdicts
-        assert replica_b.stats()["compilations"] == 0
-        assert replica_b.stats()["decisions"] == 0
-
-    # Fleet ops: `python -m repro.engine.store describe <dir>` prints the
-    # same report — WFA and verdict entries split out; `... gc <dir>
-    # --max-bytes N` evicts oldest-first (both kinds share the byte
-    # budget) and sweeps stale fingerprints after a pipeline change.
-    from repro.engine import describe_store, gc_store
-
-    description = describe_store(store_root)
-    print(f"  describe: {description['wfa_entries']} WFAs "
-          f"({description['wfa_bytes']} B) + "
-          f"{description['verdict_entries']} verdicts "
-          f"({description['verdict_bytes']} B)")
-    print(f"  gc (empty the store): "
-          f"{gc_store(store_root, max_bytes=0)}")
-
-    section("6. The verdict tier: a chained batch with zero Tzeng runs")
-    # k distinct re-associations of one product are pairwise equal.  An
-    # inferring engine decides only the k−1 *adjacent* pairs; the whole
-    # C(k,2) closure then falls out of the union–find ledger — and a
-    # store-attached replica gets even the adjacent verdicts for free.
-    rng = random.Random(5)
-    factors = [Symbol(f"f{i}") for i in range(8)]
-
-    def associate(lo, hi):
-        if hi - lo == 1:
-            return factors[lo]
-        split = rng.randint(lo + 1, hi - 1)
-        return Product(associate(lo, split), associate(split, hi))
-
-    family, seen = [], set()
-    while len(family) < 8:
-        expr = associate(0, len(factors))
-        if expr not in seen:
-            seen.add(expr)
-            family.append(expr)
-    adjacent = list(zip(family, family[1:]))
-    closure = [(family[i], family[j])
-               for i in range(len(family)) for j in range(i + 2, len(family))]
-
-    with NKAEngine("chain-a", store=store_root, infer_verdicts=True) as chain_a:
-        chain_a.equal_many(adjacent)
-        closure_verdicts = chain_a.equal_many(closure)
-        v = chain_a.stats()["verdicts"]
-        print(f"  engine A: {len(adjacent)} adjacent pairs decided "
-              f"({v['direct']} Tzeng runs), then {len(closure)} closure "
-              f"pairs inferred ({v['inferred_equal']} transitive hits, "
-              f"largest class {v['largest_class']})")
-        assert closure_verdicts == [True] * len(closure)
-        assert v["direct"] == len(adjacent)
-
-    with NKAEngine("chain-b", store=store_root, infer_verdicts=True) as chain_b:
-        chain_b.equal_many(adjacent)      # served whole off the verdict store
-        chain_b.equal_many(closure)       # inferred from the seeded ledger
-        v = chain_b.stats()["verdicts"]
-        print(f"  replica B: {chain_b.stats()['compilations']} compilations, "
-              f"{chain_b.stats()['decisions']} Tzeng runs — "
-              f"{v['store_hits']} verdicts off the store, "
-              f"{v['inferred_equal']} inferred; full stats: {v}")
-        assert chain_b.stats()["compilations"] == 0
-        assert chain_b.stats()["decisions"] == 0
-    gc_store(store_root, max_bytes=0)
+    asyncio.run(walkthrough())
 
 
 if __name__ == "__main__":

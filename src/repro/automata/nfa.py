@@ -107,6 +107,21 @@ class DFA:
     initial: int
     accepting: Set[int]
 
+    def __getstate__(self):
+        # DFAs ride inside pickled WFAs (the ``_support_dfa`` memo), whose
+        # pickled bytes must be deterministic — see ``WFA.__getstate__``.
+        # Set iteration order is construction-history dependent, so the
+        # set-valued fields serialize sorted.
+        state = dict(self.__dict__)
+        state["alphabet"] = sorted(state["alphabet"])
+        state["accepting"] = sorted(state["accepting"])
+        return state
+
+    def __setstate__(self, state):
+        state["alphabet"] = frozenset(state["alphabet"])
+        state["accepting"] = set(state["accepting"])
+        self.__dict__.update(state)
+
     def step(self, state: int, letter: str) -> int:
         return self.transitions[(state, letter)]
 

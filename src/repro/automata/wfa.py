@@ -107,6 +107,21 @@ class WFA:
     matrices: Dict[str, SparseMatrix] = field(default_factory=dict)
     _support_dfa: "DFA" = field(default=None, repr=False, compare=False)
 
+    def __getstate__(self):
+        # A frozenset's iteration order depends on its construction
+        # history, so the default pickle of two equal automata — or of one
+        # automaton before and after a store round trip — need not be
+        # byte-identical.  Pickled-byte identity of WFAs is a conformance
+        # surface (the compile store, warm state, the differential
+        # suites), so set-valued fields serialize in sorted order.
+        state = dict(self.__dict__)
+        state["alphabet"] = sorted(state["alphabet"])
+        return state
+
+    def __setstate__(self, state):
+        state["alphabet"] = frozenset(state["alphabet"])
+        self.__dict__.update(state)
+
     def support_dfa(self) -> DFA:
         """The determinized infinity-support automaton, computed once.
 

@@ -538,6 +538,42 @@ class NKAEngine:
             return served
         return None
 
+    def invalidate_negative_verdicts(
+        self, pairs: Iterable[Tuple[Expr, Expr]]
+    ) -> int:
+        """Second-chance probe support: forget recent store *misses* for
+        these pairs (and their expressions) so the next plan re-reads the
+        disk.
+
+        The store's negative cache hides a sibling replica's publish for up
+        to its TTL (~2 s) of plan-time probes — fine for a lone engine,
+        wrong for a serving coalescer whose whole point is that concurrent
+        traffic across replicas overlaps.  Calling this just before
+        planning a coalesced batch guarantees the batch never re-decides a
+        pair a sibling published since the last probe.  Returns the number
+        of negative entries dropped; zero-cost no-op without a store.
+        """
+        store = self._store
+        if store is None:
+            return 0
+        # Lazy import mirrors the constructor: the store module stays out
+        # of sys.modules until a store is actually configured.
+        from repro.engine.store import verdict_pair_key
+
+        keys = set()
+        for left, right in pairs:
+            left_digest = expr_digest(left)
+            right_digest = expr_digest(right)
+            keys.add(verdict_pair_key(left_digest, right_digest))
+            keys.add(left_digest)
+            keys.add(right_digest)
+        try:
+            return store.invalidate_negative(keys)
+        except Exception:
+            with self._lock:
+                self._store_errors += 1
+            return 0
+
     def _is_compiled(self, expr: Expr) -> bool:
         """Planner probe: is this expression's automaton already available
         without compiling (session cache or shared store)?  Wrong answers
@@ -858,6 +894,23 @@ class NKAEngine:
         serving wrappers that want to rotate workers (e.g. after a memory
         watermark).  Verdicts are unaffected — only wall-clock changes.
         """
+        with self._exec_lock:
+            self._recycle_pool_in_exec()
+
+    def _recycle_pool_in_exec(self) -> None:
+        """Detach and reap the pool; assumes ``_exec_lock`` is held.
+
+        Taking ``_exec_lock`` first is what makes close/recycle safe
+        against a batch on another thread: ``_ensure_pool`` constructs the
+        pool *outside* ``_lock`` (start-up can take seconds under spawn)
+        but always under ``_exec_lock`` — a close that only took ``_lock``
+        could run inside that construction window, observe ``_pool is
+        None``, reap nothing, and leak the about-to-be-installed workers.
+        Under ``_exec_lock`` the close instead *waits for the running
+        batch* (or parallel compile) to finish, then reaps whatever pool
+        it installed.  ``WorkerPool.close`` is itself idempotent, so
+        concurrent closers queue up harmlessly.
+        """
         with self._lock:
             pool, self._pool = self._pool, None
         if pool is not None:
@@ -866,12 +919,14 @@ class NKAEngine:
     def close(self) -> None:
         """Release this session's process resources (idempotent).
 
-        Joins and reaps every pool worker, leaving no child processes
+        Blocks until any in-flight batch on another thread completes, then
+        joins and reaps every pool worker, leaving no child processes
         behind.  The engine itself stays usable — caches survive, and a
         later parallel batch simply starts a fresh pool — so ``close`` is
         safe to call eagerly whenever parallel work pauses.
         """
-        self.recycle_pool()
+        with self._exec_lock:
+            self._recycle_pool_in_exec()
 
     def __enter__(self) -> "NKAEngine":
         return self

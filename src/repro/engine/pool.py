@@ -647,9 +647,16 @@ class WorkerPool:
 
     def stats(self) -> Dict[str, object]:
         """JSON-friendly pool state for ``engine.stats()``."""
+        handles = [] if self.closed else self._handles()
+        busy = sum(1 for handle in handles if handle.busy_chunk is not None)
+        alive = sum(1 for handle in handles if handle.process.is_alive())
         return {
             "size": self.size,
-            "alive": 0 if self.closed else self.alive_count(),
+            "alive": alive,
+            # Serving dashboards want utilisation, not just liveness: busy
+            # counts workers with a chunk in flight; idle = alive − busy.
+            "busy": busy,
+            "idle": max(0, alive - busy),
             "start_method": self.start_method,
             "batches": self.batches,
             "restarts": self.restarts,

@@ -629,6 +629,34 @@ class CompileStore:
 
     # -- observability ------------------------------------------------------
 
+    def invalidate_negative(self, keys: Optional[Iterable[str]] = None) -> int:
+        """Forget recent *misses* so the next lookup re-probes the disk.
+
+        The negative cache trusts an absence for ``negative_ttl`` seconds —
+        correct for one engine polling its own store, but a coalesced batch
+        may contain a pair whose verdict a sibling replica published
+        *milliseconds ago*, right after this handle's plan-time probe cached
+        the miss.  The serving layer's second-chance probe calls this with
+        the batch's digests and pair keys (see
+        ``NKAEngine.invalidate_negative_verdicts``) so such a pair is served
+        off the store instead of being re-decided.
+
+        ``keys`` may mix expression digests and verdict pair keys; ``None``
+        drops every negative entry.  Positive caches are untouched — they
+        can only become stale through eviction, which ``get`` already
+        handles as a plain miss.  Returns the number of entries dropped.
+        """
+        with self._lock:
+            if keys is None:
+                dropped = len(self._negative)
+                self._negative.clear()
+                return dropped
+            dropped = 0
+            for key in keys:
+                if self._negative.pop(key, None) is not None:
+                    dropped += 1
+            return dropped
+
     def clear_lookup_cache(self) -> None:
         """Drop the in-process positive/negative caches (the next reads go
         to disk — used by tests and by replicas that want immediate

@@ -39,6 +39,7 @@ and in ``BENCH_engine.json``.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from typing import Any, Dict, Iterable, Optional, Set
 
@@ -115,8 +116,29 @@ _backend: Optional[str] = None
 _env_degraded = False
 
 
+class _ThreadScope(threading.local):
+    """Per-thread stack of :func:`use_backend` overrides.
+
+    The override must be thread-local, not process-global: a multi-tenant
+    serving process runs several engines' batches on *threads*, each scoping
+    its own kernel around its compilations — a global set/restore pair would
+    let tenant A's ``use_backend("numpy")`` leak into tenant B's concurrent
+    compile (and B's restore could then clobber A's mid-batch).
+    """
+
+    def __init__(self):
+        self.stack = []
+
+
+_scope = _ThreadScope()
+
+
 def backend_name() -> str:
-    """The currently selected backend (``python`` or ``numpy``)."""
+    """The backend active in *this thread* (``python`` or ``numpy``):
+    the innermost :func:`use_backend` override if any, else the
+    process-wide default."""
+    if _scope.stack:
+        return _scope.stack[-1]
     global _backend, _env_degraded
     if _backend is None:
         requested = os.environ.get(_ENV_VAR, "").strip() or "python"
@@ -126,24 +148,32 @@ def backend_name() -> str:
 
 
 def set_backend(name: str) -> str:
-    """Select the process-wide kernel backend; returns the previous one."""
+    """Select the process-wide default backend; returns the previous default.
+
+    Thread-local :func:`use_backend` overrides are unaffected (and win over
+    the default for the threads holding them).
+    """
     global _backend
-    previous = backend_name()
+    if _backend is None:
+        backend_name()  # resolve the env-var default once, for the return
+    previous = _backend
     _backend = _validate(name)
     return previous
 
 
 @contextmanager
 def use_backend(name: Optional[str]):
-    """Scope the backend to a ``with`` block (``None`` = leave unchanged)."""
+    """Scope the backend to a ``with`` block **in the calling thread only**
+    (``None`` = leave unchanged).  Overrides nest; other threads — other
+    tenants' batches in a serving process — keep their own view."""
     if name is None:
         yield backend_name()
         return
-    previous = set_backend(name)
+    _scope.stack.append(_validate(name))
     try:
-        yield _backend
+        yield name
     finally:
-        set_backend(previous)
+        _scope.stack.pop()
 
 
 def available_backends() -> Dict[str, bool]:
@@ -171,33 +201,49 @@ def _fresh_counters() -> Dict[str, Dict[str, Any]]:
 
 _counters = _fresh_counters()
 
+# Counters are process-global and recorded from whatever thread is compiling
+# — which, in a serving process, is *not* the thread answering a ``/stats``
+# request.  A fallback with a first-of-its-kind reason grows a dict another
+# thread may be iterating (``RuntimeError: dictionary changed size during
+# iteration``), so every record and every snapshot goes through this lock.
+_counters_lock = threading.Lock()
+
 
 def record_vectorized(op: str) -> None:
-    _counters[op]["vectorized"] += 1
+    with _counters_lock:
+        _counters[op]["vectorized"] += 1
 
 
 def record_fallback(op: str, reason: str) -> None:
-    fallbacks = _counters[op]["fallbacks"]
-    fallbacks[reason] = fallbacks.get(reason, 0) + 1
+    with _counters_lock:
+        fallbacks = _counters[op]["fallbacks"]
+        fallbacks[reason] = fallbacks.get(reason, 0) + 1
 
 
 def fallback_count(op: str, reason: Optional[str] = None) -> int:
-    fallbacks = _counters[op]["fallbacks"]
-    if reason is not None:
-        return fallbacks.get(reason, 0)
-    return sum(fallbacks.values())
+    with _counters_lock:
+        fallbacks = _counters[op]["fallbacks"]
+        if reason is not None:
+            return fallbacks.get(reason, 0)
+        return sum(fallbacks.values())
 
 
 def kernel_stats() -> Dict[str, Any]:
-    """JSON-friendly snapshot: active backend + per-op counters."""
-    ops = {
-        op: {
-            "vectorized": counts["vectorized"],
-            "fallbacks": dict(counts["fallbacks"]),
-            "fallback_total": sum(counts["fallbacks"].values()),
+    """JSON-friendly snapshot: active backend + per-op counters.
+
+    Safe to call concurrently with running compilations (the serving
+    layer's ``/stats`` endpoint does): the snapshot is taken under the
+    counter lock, so a mid-iteration insert can never tear it.
+    """
+    with _counters_lock:
+        ops = {
+            op: {
+                "vectorized": counts["vectorized"],
+                "fallbacks": dict(counts["fallbacks"]),
+                "fallback_total": sum(counts["fallbacks"].values()),
+            }
+            for op, counts in _counters.items()
         }
-        for op, counts in _counters.items()
-    }
     return {
         "backend": backend_name(),
         "numpy_available": _numpy_available(),
@@ -208,7 +254,8 @@ def kernel_stats() -> Dict[str, Any]:
 
 def reset_kernel_stats() -> None:
     global _counters
-    _counters = _fresh_counters()
+    with _counters_lock:
+        _counters = _fresh_counters()
 
 
 # -- dispatch entry points -----------------------------------------------------

@@ -1,0 +1,252 @@
+"""A minimal stdlib HTTP/1.1 surface over :class:`NKAService`.
+
+Endpoints (JSON in, JSON out, ``Connection: close`` per request):
+
+* ``GET /healthz`` — liveness: ``{"ok": true}`` while accepting traffic,
+  503 once draining.
+* ``GET /stats`` — the service's full :meth:`~NKAService.stats` document
+  (serving metrics per tenant with each engine's ``stats()`` nested in).
+* ``POST /equal`` — body ``{"tenant": ..., "left": ..., "right": ...}``
+  with expressions in the surface syntax of :func:`repro.parse`; answers
+  ``{"equal": ..., "counterexample": ..., "reason": ...}``.
+* ``POST /equal_batch`` — body ``{"tenant": ..., "pairs": [[l, r], ...]}``;
+  answers ``{"results": [...]}`` in request order.
+
+Admission failures map to their :class:`~repro.serving.service.ServingError`
+status (404 unknown tenant, 429 quota, 503 draining); malformed requests
+are 400.  Built on ``asyncio.start_server`` — no web framework, because the
+container has none and the protocol surface is four routes.  This is a
+reference front door and a load-test target, not a hardened edge proxy:
+put a real terminator in front for TLS, auth and slow-loris hygiene.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.automata.equivalence import EquivalenceResult
+from repro.serving.service import NKAService, ServingError
+
+__all__ = ["ServingHTTPServer"]
+
+_MAX_BODY_BYTES = 1 << 20  # a parse-able expression fits in far less
+_MAX_HEADER_LINES = 64
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _result_payload(result: EquivalenceResult) -> Dict[str, Any]:
+    return {
+        "equal": result.equal,
+        "counterexample": (
+            None
+            if result.counterexample is None
+            else list(result.counterexample)
+        ),
+        "reason": result.reason,
+    }
+
+
+class _BadRequest(Exception):
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class ServingHTTPServer:
+    """Serve an :class:`NKAService` over HTTP on ``host:port``.
+
+    ``port=0`` (the default) binds an ephemeral port, published as
+    ``self.port`` after :meth:`start` — what the tests and the load
+    harness use.  The server does not own the service: closing the server
+    stops accepting connections, the service drains separately.
+    """
+
+    def __init__(
+        self, service: NKAService, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional["asyncio.AbstractServer"] = None
+
+    async def start(self) -> "ServingHTTPServer":
+        if self._server is not None:
+            return self
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def __aenter__(self) -> "ServingHTTPServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        await self.close()
+
+    # -- protocol ------------------------------------------------------------
+
+    async def _handle(
+        self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
+    ) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except _BadRequest as error:
+                await self._respond(
+                    writer, error.status, {"error": str(error)}
+                )
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # client went away mid-request; nothing to answer
+            try:
+                status, payload = await self._route(method, path, body)
+            except ServingError as error:
+                status, payload = error.status, {"error": str(error)}
+            except _BadRequest as error:
+                status, payload = error.status, {"error": str(error)}
+            except Exception as error:  # route bug: answer, don't hang
+                status, payload = 500, {"error": repr(error)}
+            await self._respond(writer, status, payload)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: "asyncio.StreamReader"
+    ) -> Tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line: {request_line!r}")
+        method, path, _version = parts
+        content_length = 0
+        for _ in range(_MAX_HEADER_LINES):
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _BadRequest("invalid Content-Length")
+        else:
+            raise _BadRequest("too many headers")
+        if content_length > _MAX_BODY_BYTES:
+            raise _BadRequest("request body too large", status=413)
+        body = (
+            await reader.readexactly(content_length) if content_length else b""
+        )
+        return method, path, body
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz":
+            if method != "GET":
+                raise _BadRequest("use GET", status=405)
+            if self.service._closed:
+                return 503, {"ok": False, "draining": True}
+            return 200, {"ok": True}
+        if path == "/stats":
+            if method != "GET":
+                raise _BadRequest("use GET", status=405)
+            return 200, self.service.stats()
+        if path == "/equal":
+            if method != "POST":
+                raise _BadRequest("use POST", status=405)
+            document = self._json_body(body)
+            tenant = self._field(document, "tenant")
+            left = self._parse_expr(self._field(document, "left"))
+            right = self._parse_expr(self._field(document, "right"))
+            result = await self.service.equal_detailed(tenant, left, right)
+            return 200, _result_payload(result)
+        if path == "/equal_batch":
+            if method != "POST":
+                raise _BadRequest("use POST", status=405)
+            document = self._json_body(body)
+            tenant = self._field(document, "tenant")
+            raw_pairs = self._field(document, "pairs")
+            if not isinstance(raw_pairs, list):
+                raise _BadRequest("'pairs' must be a list of [left, right]")
+            pairs = []
+            for entry in raw_pairs:
+                if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                    raise _BadRequest("each pair must be [left, right]")
+                pairs.append(
+                    (self._parse_expr(entry[0]), self._parse_expr(entry[1]))
+                )
+            results = await self.service.equal_many_detailed(tenant, pairs)
+            return 200, {"results": [_result_payload(r) for r in results]}
+        raise _BadRequest(f"no such route: {path}", status=404)
+
+    @staticmethod
+    def _json_body(body: bytes) -> Dict[str, Any]:
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise _BadRequest(f"invalid JSON body: {error}")
+        if not isinstance(document, dict):
+            raise _BadRequest("body must be a JSON object")
+        return document
+
+    @staticmethod
+    def _field(document: Dict[str, Any], name: str) -> Any:
+        try:
+            return document[name]
+        except KeyError:
+            raise _BadRequest(f"missing field {name!r}")
+
+    @staticmethod
+    def _parse_expr(source: Any):
+        from repro import parse
+
+        if not isinstance(source, str):
+            raise _BadRequest("expressions must be strings")
+        try:
+            return parse(source)
+        except Exception as error:
+            raise _BadRequest(f"unparseable expression {source!r}: {error}")
+
+    async def _respond(
+        self,
+        writer: "asyncio.StreamWriter",
+        status: int,
+        payload: Dict[str, Any],
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away; the verdict is already recorded

@@ -235,6 +235,152 @@ class TestStoreSemantics:
         assert clone.fsync is True
 
 
+class TestPickleDeterminism:
+    """Pickled WFA bytes must not depend on set construction history.
+
+    A frozenset's iteration order depends on how it was built (insertion
+    sequence and probe collisions), not just on its elements — so without
+    canonical ``__getstate__`` ordering, two equal automata, or one
+    automaton before and after a store round trip, could pickle to
+    *different bytes* under ~15% of hash seeds (a byte-identity flake in
+    ``test_publish_get_round_trip`` on exactly this file).  Byte identity
+    of pickled automata is a conformance surface: the store is
+    content-addressed and the differential suites compare pickled bytes.
+    """
+
+    @staticmethod
+    def _adversarial_alphabets():
+        """Two frozensets, equal as sets, iterating in different orders."""
+        letters = [f"x{i}" for i in range(48)]
+        base = frozenset(letters)
+        rng = __import__("random").Random(4177)
+        for _ in range(200):
+            shuffled = list(letters)
+            rng.shuffle(shuffled)
+            other = frozenset(shuffled)
+            if list(other) != list(base):
+                return base, other
+        return None
+
+    @staticmethod
+    def _with_alphabet(alphabet):
+        from repro.automata.wfa import WFA
+
+        wfa = _compile(_exprs(1)[0])
+        return WFA(
+            num_states=wfa.num_states,
+            alphabet=alphabet,
+            initial=list(wfa.initial),
+            final=list(wfa.final),
+            matrices=dict(wfa.matrices),
+        )
+
+    def test_equal_wfas_pickle_to_identical_bytes(self):
+        pair = self._adversarial_alphabets()
+        if pair is None:
+            pytest.skip("interpreter laid every shuffle out identically")
+        base, other = pair
+        assert base == other and list(base) != list(other)  # the trap is set
+        assert pickle.dumps(self._with_alphabet(base)) == pickle.dumps(
+            self._with_alphabet(other)
+        )
+
+    def test_store_round_trip_is_byte_stable(self, tmp_path):
+        pair = self._adversarial_alphabets()
+        if pair is None:
+            pytest.skip("interpreter laid every shuffle out identically")
+        _, other = pair
+        wfa = self._with_alphabet(other)
+        expr = _exprs(1, seed=9)[0]
+        store = CompileStore(str(tmp_path / "store"))
+        assert store.publish(expr, wfa) is True
+        served = CompileStore(str(tmp_path / "store")).get(expr)
+        assert pickle.dumps(served) == pickle.dumps(wfa)
+
+    def test_support_dfa_memo_round_trips_byte_stable(self):
+        wfa = _compile(_exprs(1, seed=3)[0])
+        wfa.support_dfa()  # populate the DFA memo (set-valued fields)
+        once = pickle.dumps(pickle.loads(pickle.dumps(wfa)))
+        assert once == pickle.dumps(wfa)
+        assert pickle.dumps(pickle.loads(once)) == once
+
+
+class TestNegativeCacheInvalidation:
+    """Regression (serving satellite): the negative-TTL cache must have an
+    explicit bypass.  A handle that recently missed a verdict trusts that
+    miss for ``negative_ttl`` seconds — long enough to hide a verdict a
+    sibling replica published *after* the probe, which would make a
+    coalesced batch re-decide a pair the fleet already answered.  These
+    tests fail on the pre-PR store with ``AttributeError``."""
+
+    def test_invalidate_reveals_sibling_publish_within_ttl(self, tmp_path):
+        from repro.automata.equivalence import EquivalenceResult
+        from repro.engine.store import verdict_pair_key
+
+        root = str(tmp_path / "store")
+        # A generous TTL makes the hiding deterministic, not timing-luck.
+        replica_a = CompileStore(root, negative_ttl=60.0)
+        replica_b = CompileStore(root)
+        left, right = _exprs(2, seed=7)
+        digest_l = persist.expr_digest(left)
+        digest_r = persist.expr_digest(right)
+        verdict = EquivalenceResult(
+            equal=True, counterexample=None, reason="test verdict"
+        )
+        # A probes first: the miss is cached negatively.
+        assert replica_a.get_verdict(digest_l, digest_r) is None
+        # B (the sibling replica) publishes right afterwards.
+        assert replica_b.publish_verdict(digest_l, digest_r, verdict) is True
+        # A's negative cache still hides the entry — the bug being bypassed.
+        assert replica_a.get_verdict(digest_l, digest_r) is None
+        assert replica_a.negative_hits > 0
+        # The second-chance bypass: drop the negative entry, re-read disk.
+        key = verdict_pair_key(digest_l, digest_r)
+        assert replica_a.invalidate_negative([key]) == 1
+        served = replica_a.get_verdict(digest_l, digest_r)
+        assert served is not None
+        assert pickle.dumps(served) == pickle.dumps(verdict)
+
+    def test_invalidate_everything_and_unknown_keys(self, tmp_path):
+        store = CompileStore(str(tmp_path / "store"), negative_ttl=60.0)
+        exprs = _exprs(3, seed=8)
+        for expr in exprs:
+            assert store.get(expr) is None  # seeds one negative entry each
+        assert store.invalidate_negative(["no-such-key"]) == 0
+        assert store.invalidate_negative() == len(exprs)
+        assert store.invalidate_negative() == 0  # already empty
+
+    def test_engine_second_chance_helper(self, tmp_path):
+        """``NKAEngine.invalidate_negative_verdicts`` drops the pair key
+        and both expression digests, and no-ops without a store."""
+        from repro.automata.equivalence import EquivalenceResult
+
+        root = str(tmp_path / "store")
+        engine = NKAEngine(
+            "second-chance", store=CompileStore(root, negative_ttl=60.0)
+        )
+        sibling = CompileStore(root)
+        left, right = _exprs(2, seed=9)
+        digest_l = persist.expr_digest(left)
+        digest_r = persist.expr_digest(right)
+        # Seed negatives exactly as plan-time probes would: a verdict miss
+        # and a WFA presence miss per side.
+        assert engine.store.get_verdict(digest_l, digest_r) is None
+        assert engine.store.contains_digests([digest_l, digest_r]) == set()
+        sibling.publish_verdict(
+            digest_l,
+            digest_r,
+            EquivalenceResult(equal=True, counterexample=None, reason="t"),
+        )
+        dropped = engine.invalidate_negative_verdicts([(left, right)])
+        assert dropped == 3  # pair key + two digests
+        assert engine.store.get_verdict(digest_l, digest_r) is not None
+        # Storeless engines answer zero without touching anything.
+        assert NKAEngine("no-store", store=False).invalidate_negative_verdicts(
+            [(left, right)]
+        ) == 0
+
+
 class TestFingerprintDiscipline:
     """Satellite: the fingerprint must refuse incomplete pipelines."""
 

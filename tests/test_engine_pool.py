@@ -263,6 +263,67 @@ class TestShutdown:
             assert engine.worker_pids(), "a fresh pool must have started"
             assert fresh == _sequential_reference(_pairs(seed=353))
 
+    def test_close_racing_in_flight_batch_leaks_no_workers(self, monkeypatch):
+        """Regression: close() during another thread's pool construction.
+
+        ``_ensure_pool`` builds the WorkerPool *outside* the engine lock
+        (start-up can take seconds under spawn).  A ``close()`` that only
+        synchronized on the engine lock could run inside that window:
+        it would observe ``_pool is None``, reap nothing, and the batch
+        thread would then install a pool whose workers nobody ever joins.
+        Pinned semantics: close *waits for the running batch* (it
+        serializes on ``_exec_lock``), then reaps — so after both threads
+        finish, no worker survives.  This test fails on the pre-fix code
+        with live leaked workers.
+        """
+        monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+        from repro.engine import core as engine_core
+
+        construction_entered = threading.Event()
+        release_construction = threading.Event()
+        worker_pids = []
+
+        class SlowStartPool(WorkerPool):
+            def __init__(self, *args, **kwargs):
+                construction_entered.set()
+                assert release_construction.wait(30)
+                super().__init__(*args, **kwargs)
+                worker_pids.extend(self.worker_pids())
+
+        monkeypatch.setattr(engine_core, "WorkerPool", SlowStartPool)
+        engine = NKAEngine("pool-close-race", workers=2)
+        pairs = _pairs(seed=371, count=30)
+        batch_errors = []
+
+        def run_batch():
+            try:
+                engine.equal_many(pairs, workers=2)
+            except Exception as error:  # pragma: no cover - diagnostic
+                batch_errors.append(error)
+
+        batch_thread = threading.Thread(target=run_batch)
+        closer_thread = threading.Thread(target=engine.close)
+        try:
+            batch_thread.start()
+            assert construction_entered.wait(30), "batch never reached the pool"
+            closer_thread.start()
+            # Give a buggy close every chance to slip through the window
+            # before construction resumes.
+            time.sleep(0.2)
+            release_construction.set()
+            batch_thread.join(60)
+            closer_thread.join(60)
+            assert not batch_thread.is_alive() and not closer_thread.is_alive()
+            assert not batch_errors, f"batch failed: {batch_errors}"
+            assert worker_pids, "the pool never started workers"
+            for pid in worker_pids:
+                assert _wait_dead(pid), (
+                    f"worker {pid} outlived close() racing the batch"
+                )
+        finally:
+            release_construction.set()
+            engine.close()
+
     def test_context_manager_closes_on_exception(self, monkeypatch):
         monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
         pids = []

@@ -405,3 +405,134 @@ class TestEnginePipelineParity:
         with NKAEngine("inf-np", kernel="numpy") as np_engine:
             fast = np_engine.equal_many_detailed(pairs)
         assert [pickle.dumps(v) for v in oracle] == [pickle.dumps(v) for v in fast]
+
+
+class TestThreadSafety:
+    """Regression (serving satellite): the kernel layer is process-global
+    state read by ``engine.stats()`` from serving threads while *other*
+    threads compile.  Both tests fail on the pre-PR module — the counter
+    hammer with ``RuntimeError: dictionary changed size during iteration``,
+    the backend test by observing another thread's ``use_backend`` leak."""
+
+    def test_kernel_stats_snapshot_survives_concurrent_fallbacks(self):
+        import threading
+
+        kernels.reset_kernel_stats()
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    kernels.kernel_stats()
+                    kernels.fallback_count("star")
+                except RuntimeError as error:
+                    errors.append(error)
+                    return
+
+        def writer():
+            try:
+                # Fresh reason strings grow the per-op fallbacks dict on
+                # every record — exactly what tears an unlocked snapshot.
+                for index in range(4000):
+                    kernels.record_fallback("star", f"hammer-reason-{index}")
+                    kernels.record_vectorized("mul")
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        kernels.reset_kernel_stats()
+        assert not errors, f"kernel_stats raced a recording thread: {errors[0]}"
+
+    def test_engine_stats_concurrent_with_decisions(self):
+        """The user-visible face of the same race: ``stats()`` polled from
+        one thread while another runs ``equal_detailed``."""
+        import threading
+
+        engine = NKAEngine("stats-hammer")
+        pairs = random_pairs(seed=77, count=30, depth=3, equal_fraction=0.2)
+        errors = []
+        done = threading.Event()
+
+        def poll_stats():
+            while not done.is_set():
+                try:
+                    engine.stats()
+                except Exception as error:
+                    errors.append(error)
+                    return
+
+        def decide():
+            try:
+                for left, right in pairs:
+                    engine.equal_detailed(left, right)
+            finally:
+                done.set()
+
+        poller = threading.Thread(target=poll_stats)
+        decider = threading.Thread(target=decide)
+        poller.start()
+        decider.start()
+        decider.join(60)
+        poller.join(60)
+        assert not errors, f"stats() raced equal_detailed: {errors[0]}"
+
+    def test_use_backend_is_thread_local(self):
+        import threading
+
+        if not numpy_backend.available():
+            pytest.skip("numpy backend unavailable")
+        default = kernels.backend_name()
+        observed = {}
+        inside = threading.Barrier(2, timeout=10)
+        sampled = threading.Barrier(2, timeout=10)
+
+        def overriding_thread():
+            with kernels.use_backend("numpy" if default == "python" else "python"):
+                inside.wait()   # override active…
+                sampled.wait()  # …while the other thread samples
+
+        def sampling_thread():
+            inside.wait()
+            observed["other"] = kernels.backend_name()
+            sampled.wait()
+
+        threads = [
+            threading.Thread(target=overriding_thread),
+            threading.Thread(target=sampling_thread),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert observed["other"] == default, (
+            "use_backend leaked across threads: one tenant's kernel choice "
+            "must never change another tenant's concurrent compile"
+        )
+        assert kernels.backend_name() == default
+
+    def test_set_backend_still_moves_the_process_default(self):
+        """set_backend stays process-wide (the serving default); only
+        use_backend scopes per-thread."""
+        import threading
+
+        if not numpy_backend.available():
+            pytest.skip("numpy backend unavailable")
+        previous = kernels.set_backend("numpy")
+        try:
+            seen = {}
+
+            def sample():
+                seen["worker"] = kernels.backend_name()
+
+            thread = threading.Thread(target=sample)
+            thread.start()
+            thread.join(10)
+            assert seen["worker"] == "numpy"
+        finally:
+            kernels.set_backend(previous)

@@ -11,7 +11,7 @@ These randomised suites close the loop on the paper's central guarantees:
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.core.decision import nka_equal
 from repro.core.expr import ONE, Product, Star, Sum, Symbol, ZERO
@@ -130,6 +130,15 @@ class TestSoundnessTransferRandom:
         })
 
     @given(_expr_over("ab"), st.integers(min_value=0, max_value=5))
+    # Pinned: ``(b* (0 + b))*`` under seed 1 diverges in one direction while
+    # converging in the other.  With the old 1e12 divergence guard the
+    # truncated series totals carried ~eps·1e12 ≈ 2e-4 of float debris in
+    # the surviving finite directions, which both tripped the
+    # ExtendedPositive PSD check (compression residue, now clipped in
+    # ``sum_extended_series``) and pushed the two sides ~2.5e-5 apart —
+    # far beyond the 1e-6 tolerance here.  Guards now cap the noise floor
+    # at ~2e-8; this example keeps both regressions covered.
+    @example(expr=Product(Star(Symbol("b")), Sum(ZERO, Symbol("b"))), seed=1)
     @settings(max_examples=20, deadline=None)
     def test_fixed_point_instances_transfer(self, expr, seed):
         interp = self._interpretation(seed)
